@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks of the simulator engine itself: how fast the
+//! substrates simulate (host-side performance, not simulated-system
+//! performance).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use duet_mem::priv_cache::CacheConfig;
+use duet_mem::testkit::ProtocolHarness;
+use duet_mem::types::{MemReq, Width};
+use duet_noc::{Mesh, MeshConfig, Message, VNet};
+use duet_sim::{AsyncFifo, Clock, Time};
+use duet_system::{System, SystemConfig};
+use std::sync::Arc;
+
+fn bench_async_fifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_fifo");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("push_pop_1000", |b| {
+        let fast = Clock::ghz1();
+        let slow = Clock::from_mhz(100.0);
+        b.iter(|| {
+            let mut f: AsyncFifo<u64> = AsyncFifo::new(16, 2, fast, slow);
+            let mut t = Time::ZERO;
+            let mut got = 0u64;
+            let mut sent = 0u64;
+            while got < 1000 {
+                t = t + Time::from_ps(1000);
+                if sent < 1000 && f.can_push(t) {
+                    f.push(t, sent).unwrap();
+                    sent += 1;
+                }
+                while let Some(_) = f.pop(t) {
+                    got += 1;
+                }
+            }
+            got
+        });
+    });
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("mesh4x4_hotspot_1000_msgs", |b| {
+        let cfg = MeshConfig::new(4, 4, Clock::ghz1());
+        b.iter(|| {
+            let mut mesh: Mesh<u32> = Mesh::new(cfg);
+            let mut t = Time::ZERO;
+            let mut delivered = 0u64;
+            let mut injected = 0u32;
+            while delivered < 1000 {
+                t = t + Time::from_ps(1000);
+                for src in 0..16 {
+                    if src != 5 && injected < 1000 && mesh.can_inject(src, VNet::Req) {
+                        mesh.inject(t, Message::new(src, 5, VNet::Req, 2, injected))
+                            .unwrap();
+                        injected += 1;
+                    }
+                }
+                mesh.tick(t);
+                while mesh.eject(5, VNet::Req).is_some() {
+                    delivered += 1;
+                }
+            }
+            delivered
+        });
+    });
+    g.finish();
+}
+
+fn bench_coherence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coherence");
+    g.throughput(Throughput::Elements(200));
+    g.bench_function("two_cache_pingpong_200_writes", |b| {
+        b.iter(|| {
+            let cfg = CacheConfig::dolly_l2(Clock::ghz1());
+            let mut h = ProtocolHarness::new(2, 2, 2, cfg);
+            for k in 0..200u64 {
+                let cache = (k % 2) as usize;
+                h.request(cache, MemReq::store(k, 0x1000, Width::B8, k));
+                h.run_until_resp(cache, 2000);
+            }
+            h.now()
+        });
+    });
+    g.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("p4m1_10us_sim", |b| {
+        // Host cost of simulating 10 us of a busy 4-core Dolly instance.
+        let mut asm = duet_cpu::asm::Asm::new();
+        asm.label("main");
+        asm.li(duet_cpu::isa::regs::T[0], 0x1000);
+        asm.label("loop");
+        asm.ld(duet_cpu::isa::regs::T[1], duet_cpu::isa::regs::T[0], 0);
+        asm.addi(duet_cpu::isa::regs::T[1], duet_cpu::isa::regs::T[1], 1);
+        asm.sd(duet_cpu::isa::regs::T[1], duet_cpu::isa::regs::T[0], 0);
+        asm.j("loop");
+        let prog = Arc::new(asm.assemble().unwrap());
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::dolly(4, 1, 100.0));
+            for core in 0..4 {
+                sys.load_program(core, prog.clone(), "main");
+            }
+            let deadline = Time::from_us(10);
+            while sys.now() < deadline {
+                sys.step_edge();
+            }
+            sys.now()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_async_fifo,
+    bench_mesh,
+    bench_coherence,
+    bench_full_system
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 10**: single-processor CPU↔eFPGA bandwidth vs eFPGA
+//! clock frequency, passing 512 quad-words each way (the paper's
+//! protocol), for all six mechanisms.
+//!
+//! Run: `cargo run --release -p duet-bench --bin fig10`
+
+use duet_workloads::synthetic::{measure_bandwidth, Mechanism};
+
+fn main() {
+    let freqs = [20.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0];
+    let nwords = 512; // the paper's 512 quad-words (4 KB buffers)
+    println!("# Fig. 10: processor-eFPGA bandwidth (MB/s), 512 quad-words, 1 GHz system");
+    print!("{:<24}", "mechanism");
+    for f in freqs {
+        print!(" {:>8.0}", f);
+    }
+    println!("  (MHz)");
+    for m in Mechanism::ALL {
+        print!("{:<24}", m.label());
+        for &f in &freqs {
+            let p = measure_bandwidth(m, f, nwords);
+            print!(" {:>8.0}", p.mbps());
+        }
+        println!();
+    }
+    println!();
+    println!("# Paper reference points: proxy eFPGA-pull peaks 558 MB/s (>=100 MHz);");
+    println!("# proxy CPU-pull 201 MB/s (>=50 MHz); slow cache 287/144 MB/s at 500 MHz;");
+    println!("# shadow regs 213 MB/s (>=50 MHz); normal regs 121 MB/s at 500 MHz;");
+    println!("# largest proxy/slow gap at 100 MHz (9.5x in the paper).");
+    let p100 = measure_bandwidth(Mechanism::EfpgaPullProxy, 100.0, nwords).mbps();
+    let s100 = measure_bandwidth(Mechanism::EfpgaPullSlow, 100.0, nwords).mbps();
+    println!("# measured proxy/slow gap @100 MHz: {:.1}x", p100 / s100);
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 11**: per-processor soft-register bandwidth vs
+//! number of contending processors (eFPGA fixed at 500 MHz), shadow vs
+//! normal registers.
+//!
+//! Run: `cargo run --release -p duet-bench --bin fig11`
+
+use duet_workloads::synthetic::measure_contention;
+
+fn main() {
+    let procs = [1usize, 2, 4, 8, 16];
+    let pairs = 64;
+    println!("# Fig. 11: per-processor bandwidth (MB/s) vs contending processors");
+    println!("# eFPGA at 500 MHz; each processor issues write/read pairs to one register");
+    println!("{:<10} {:>14} {:>14}", "procs", "shadow", "normal");
+    let mut rows = Vec::new();
+    for &p in &procs {
+        let s = measure_contention(true, p, pairs);
+        let n = measure_contention(false, p, pairs);
+        println!(
+            "{:<10} {:>14.1} {:>14.1}",
+            p, s.per_proc_mbps, n.per_proc_mbps
+        );
+        rows.push((p, s.per_proc_mbps, n.per_proc_mbps));
+    }
+    println!();
+    println!("# Paper: shadow registers sustain ~8 processors before per-processor");
+    println!("# bandwidth drops; normal registers only ~2.");
+    let knee = |col: fn(&(usize, f64, f64)) -> f64, rows: &[(usize, f64, f64)]| {
+        let base = col(&rows[0]);
+        rows.iter()
+            .take_while(|r| col(r) > 0.8 * base)
+            .map(|r| r.0)
+            .last()
+            .unwrap_or(1)
+    };
+    println!(
+        "# measured knees: shadow sustains ~{} procs, normal ~{} procs",
+        knee(|r| r.1, &rows),
+        knee(|r| r.2, &rows)
+    );
+}

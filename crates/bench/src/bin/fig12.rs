@@ -1,0 +1,192 @@
+//! Regenerates **Fig. 12**: normalized speedup and area-delay product of
+//! the seven application benchmarks on Duet and on the FPSoC-like
+//! baseline, relative to the processor-only baseline.
+//!
+//! Run: `cargo run --release -p duet-bench --bin fig12`
+//! (Takes several minutes: 13 configurations × 3 full-system simulations.)
+
+use duet_fpga::area::{base_tile_area_mm2, normalized_adp, AreaModel};
+use duet_fpga::fabric::FabricSpec;
+use duet_workloads::common::{AppResult, BenchVariant};
+use duet_workloads::{barnes_hut, bfs, dijkstra, pdes, popcount, sort, tangent};
+
+struct Row {
+    name: String,
+    fabric_mm2: f64,
+    base: AppResult,
+    duet: AppResult,
+    fpsoc: AppResult,
+}
+
+fn fabric_area(netlist: &duet_fpga::fabric::NetlistSummary) -> f64 {
+    FabricSpec::k6_frac_n10_mem32k().implement(netlist).area_mm2
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let run3 = |f: &dyn Fn(BenchVariant) -> AppResult| {
+        (
+            f(BenchVariant::ProcOnly),
+            f(BenchVariant::Duet),
+            f(BenchVariant::Fpsoc),
+        )
+    };
+
+    eprintln!("[fig12] tangent (P1M0)...");
+    let (b, d, f) = run3(&|v| tangent::run(v, 96, 11));
+    rows.push(Row {
+        name: "tangent".into(),
+        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
+            &tangent::TangentAccel::new(true),
+        )),
+        base: b,
+        duet: d,
+        fpsoc: f,
+    });
+
+    eprintln!("[fig12] popcount (P1M1)...");
+    let (b, d, f) = run3(&|v| popcount::run(v, 48, 21));
+    rows.push(Row {
+        name: "popcount".into(),
+        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
+            &popcount::PopcountAccel::new(true),
+        )),
+        base: b,
+        duet: d,
+        fpsoc: f,
+    });
+
+    for slice in [32u64, 64, 128] {
+        eprintln!("[fig12] sort/{slice} (P1M2)...");
+        // The paper's sorted arrays are network-sized (128-512 B): one
+        // streaming pass, merged externally only in larger deployments.
+        let (b, d, f) = run3(&|v| sort::run(v, slice, slice, 31));
+        rows.push(Row {
+            name: format!("sort/{slice}"),
+            fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
+                &sort::SortAccel::new(true, slice),
+            )),
+            base: b,
+            duet: d,
+            fpsoc: f,
+        });
+    }
+
+    eprintln!("[fig12] dijkstra (P1M1)...");
+    let (b, d, f) = run3(&|v| dijkstra::run(v, 192, 8, 41));
+    rows.push(Row {
+        name: "dijkstra".into(),
+        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
+            &dijkstra::DijkstraAccel::new(true, true, dijkstra::DijkstraLayout::new()),
+        )),
+        base: b,
+        duet: d,
+        fpsoc: f,
+    });
+
+    eprintln!("[fig12] barnes-hut (P4M1)...");
+    let (b, d, f) = run3(&|v| barnes_hut::run(v, 4, 48, 51));
+    rows.push(Row {
+        name: "barnes-hut".into(),
+        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
+            &barnes_hut::BhAccel::new(true, 4, 0, 0),
+        )),
+        base: b,
+        duet: d,
+        fpsoc: f,
+    });
+
+    for p in [4usize, 8, 16] {
+        eprintln!("[fig12] pdes/{p} (P{p}M1)...");
+        let (b, d, f) = run3(&|v| pdes::run(v, p, 12, 6, 61));
+        rows.push(Row {
+            name: format!("pdes/{p}"),
+            fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
+                &pdes::TaskScheduler::new(true, p, &[]),
+            )),
+            base: b,
+            duet: d,
+            fpsoc: f,
+        });
+    }
+
+    for p in [4usize, 8, 16] {
+        eprintln!("[fig12] bfs/{p} (P{p}M0)...");
+        let (b, d, f) = run3(&|v| bfs::run(v, p, 192, 4, 71));
+        rows.push(Row {
+            name: format!("bfs/{p}"),
+            fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
+                &bfs::FrontierQueues::new(true, p, 0),
+            )),
+            base: b,
+            duet: d,
+            fpsoc: f,
+        });
+    }
+
+    println!("# Fig. 12: normalized speedup and ADP (baseline = processor-only = 1.0)");
+    println!(
+        "{:<12} {:>5} {:>11} {:>11} {:>11} | {:>9} {:>9} | {:>9} {:>9} | {:>3}",
+        "benchmark", "P", "base us", "duet us", "fpsoc us", "spd duet", "spd fpsoc", "adp duet", "adp fpsoc", "ok"
+    );
+    let mut geo_duet = 1.0f64;
+    let mut geo_fpsoc = 1.0f64;
+    let mut geo_adp_duet = 1.0f64;
+    let mut geo_adp_fpsoc = 1.0f64;
+    for r in &rows {
+        let s_duet = r.duet.speedup_over(&r.base);
+        let s_fpsoc = r.fpsoc.speedup_over(&r.base);
+        let model = AreaModel {
+            processors: r.base.processors,
+            memory_hubs: r.duet.memory_hubs,
+            fabric_mm2: r.fabric_mm2,
+        };
+        let base_area = model.processor_only_mm2();
+        let adp_duet = normalized_adp(
+            model.duet_mm2(),
+            r.duet.runtime.as_ps(),
+            base_area,
+            r.base.runtime.as_ps(),
+        );
+        let adp_fpsoc = normalized_adp(
+            model.fpsoc_mm2(),
+            r.fpsoc.runtime.as_ps(),
+            base_area,
+            r.base.runtime.as_ps(),
+        );
+        let ok = r.base.correct && r.duet.correct && r.fpsoc.correct;
+        println!(
+            "{:<12} {:>5} {:>11.1} {:>11.1} {:>11.1} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>3}",
+            r.name,
+            r.base.processors,
+            r.base.runtime.as_us_f64(),
+            r.duet.runtime.as_us_f64(),
+            r.fpsoc.runtime.as_us_f64(),
+            s_duet,
+            s_fpsoc,
+            adp_duet,
+            adp_fpsoc,
+            if ok { "yes" } else { "NO" }
+        );
+        geo_duet *= s_duet;
+        geo_fpsoc *= s_fpsoc;
+        geo_adp_duet *= adp_duet;
+        geo_adp_fpsoc *= adp_fpsoc;
+    }
+    let n = rows.len() as f64;
+    println!();
+    println!(
+        "# geomean speedup: duet {:.2}x, fpsoc {:.2}x (paper: 4.53x / 2.14x)",
+        geo_duet.powf(1.0 / n),
+        geo_fpsoc.powf(1.0 / n)
+    );
+    println!(
+        "# geomean ADP: duet {:.2}, fpsoc {:.2} (paper: 0.39 / 1.23; lower is better)",
+        geo_adp_duet.powf(1.0 / n),
+        geo_adp_fpsoc.powf(1.0 / n)
+    );
+    println!(
+        "# normalization tile: {:.2} mm2 (Ariane + P-Mesh socket)",
+        base_tile_area_mm2()
+    );
+}

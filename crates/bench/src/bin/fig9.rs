@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 9**: CPU–eFPGA communication latency (single
+//! processor, single transaction) with the four-way breakdown into NoC,
+//! fast-domain cache, slow-domain cache, and CDC time, across eFPGA clock
+//! frequencies, for all six mechanisms.
+//!
+//! Run: `cargo run --release -p duet-bench --bin fig9`
+
+use duet_workloads::synthetic::{measure_latency, Mechanism};
+
+fn main() {
+    let freqs = [20.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0];
+    println!("# Fig. 9: CPU-eFPGA round-trip latency (ns), system clock 1 GHz");
+    println!(
+        "{:<24} {:>8} {:>10} {:>8} {:>9} {:>9} {:>8}",
+        "mechanism", "MHz", "total", "noc", "fast", "slow", "cdc"
+    );
+    for m in Mechanism::ALL {
+        for &f in &freqs {
+            let p = measure_latency(m, f);
+            println!(
+                "{:<24} {:>8.0} {:>10.1} {:>8.1} {:>9.1} {:>9.1} {:>8.1}",
+                m.label(),
+                f,
+                p.total.as_ns_f64(),
+                p.breakdown.noc.as_ns_f64(),
+                p.breakdown.cache_fast.as_ns_f64(),
+                p.breakdown.cache_slow.as_ns_f64(),
+                p.breakdown.cdc.as_ns_f64(),
+            );
+        }
+        println!();
+    }
+
+    // Paper headline numbers for comparison.
+    let reduction = |slow: Mechanism, fast: Mechanism, mhz: f64| {
+        let s = measure_latency(slow, mhz).total.as_ps() as f64;
+        let p = measure_latency(fast, mhz).total.as_ps() as f64;
+        100.0 * (1.0 - p / s)
+    };
+    println!("# Headline reductions (paper: eFPGA pull 13-43%, CPU pull 42-82%, shadow 50-80%)");
+    for &mhz in &[20.0, 100.0, 500.0] {
+        println!(
+            "  @{mhz:>3.0} MHz: efpga-pull {:>5.1}%   cpu-pull {:>5.1}%   shadow-reg {:>5.1}%",
+            reduction(Mechanism::EfpgaPullSlow, Mechanism::EfpgaPullProxy, mhz),
+            reduction(Mechanism::CpuPullSlow, Mechanism::CpuPullProxy, mhz),
+            reduction(Mechanism::NormalReg, Mechanism::ShadowReg, mhz),
+        );
+    }
+}

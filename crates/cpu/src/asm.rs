@@ -1,0 +1,530 @@
+//! A small assembler for the kernel IR with string labels, forward
+//! references, and the usual pseudo-instructions.
+//!
+//! # Example
+//!
+//! ```
+//! use duet_cpu::asm::Asm;
+//! use duet_cpu::isa::{regs, Reg};
+//!
+//! let mut a = Asm::new();
+//! let (n, acc, i) = (regs::A[0], regs::T[0], regs::T[1]);
+//! a.li(acc, 0);
+//! a.li(i, 0);
+//! a.label("loop");
+//! a.add(acc, acc, i);
+//! a.addi(i, i, 1);
+//! a.blt(i, n, "loop");
+//! a.halt();
+//! let prog = a.assemble().unwrap();
+//! assert!(prog.len() > 0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use duet_mem::types::{AmoOp, Width};
+
+use crate::isa::{AluOp, Cond, FpCmp, FpOp, Inst, Program, Reg};
+
+/// Error produced by [`Asm::assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An instruction whose target may still be a symbolic label.
+#[derive(Clone, Debug)]
+enum Draft {
+    Ready(Inst),
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, label: String },
+    Jal { rd: Reg, label: String },
+    /// `rd = instruction index of label` (for indirect calls/returns).
+    La { rd: Reg, label: String },
+}
+
+/// The assembler. Emit instructions with the mnemonic methods, then call
+/// [`assemble`](Asm::assemble).
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    drafts: Vec<Draft>,
+    labels: BTreeMap<String, usize>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (where the next emitted instruction lands).
+    pub fn here(&self) -> usize {
+        self.drafts.len()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition (an assembly bug).
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.drafts.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.drafts.push(Draft::Ready(inst));
+    }
+
+    // ----- ALU -----
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 << rs2`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 >> rs2` (logical).
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 / rs2` (signed).
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 % rs2` (signed).
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 < rs2)` signed.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 < rs2)` unsigned.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluOp::And, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 | imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluOp::Or, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm });
+    }
+
+    /// `rd = (rs1 < imm)` signed.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Inst::Li { rd, imm });
+    }
+
+    /// `rd = rs` (register move).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// Loads the raw bits of an `f64` constant.
+    pub fn lfd(&mut self, rd: Reg, value: f64) {
+        self.li(rd, value.to_bits() as i64);
+    }
+
+    // ----- memory -----
+
+    /// `rd = mem64[base + off]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Load { width: Width::B8, signed: false, rd, base, off });
+    }
+
+    /// `rd = zext(mem32[base + off])`.
+    pub fn lwu(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Load { width: Width::B4, signed: false, rd, base, off });
+    }
+
+    /// `rd = sext(mem32[base + off])`.
+    pub fn lw(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Load { width: Width::B4, signed: true, rd, base, off });
+    }
+
+    /// `rd = zext(mem8[base + off])`.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Load { width: Width::B1, signed: false, rd, base, off });
+    }
+
+    /// `mem64[base + off] = src`.
+    pub fn sd(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Store { width: Width::B8, src, base, off });
+    }
+
+    /// `mem32[base + off] = src`.
+    pub fn sw(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Store { width: Width::B4, src, base, off });
+    }
+
+    /// `mem8[base + off] = src`.
+    pub fn sb(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Store { width: Width::B1, src, base, off });
+    }
+
+    /// `rd = amoswap.d(mem[base], src)`.
+    pub fn amoswap(&mut self, rd: Reg, base: Reg, src: Reg) {
+        self.emit(Inst::Amo { op: AmoOp::Swap, width: Width::B8, rd, base, src, expected: Reg::ZERO });
+    }
+
+    /// `rd = amoadd.d(mem[base], src)`.
+    pub fn amoadd(&mut self, rd: Reg, base: Reg, src: Reg) {
+        self.emit(Inst::Amo { op: AmoOp::Add, width: Width::B8, rd, base, src, expected: Reg::ZERO });
+    }
+
+    /// `rd = cas.d(mem[base], expected, src)` — compare-and-swap (models an
+    /// LR/SC pair executed at the coherence point).
+    pub fn cas(&mut self, rd: Reg, base: Reg, expected: Reg, src: Reg) {
+        self.emit(Inst::Amo { op: AmoOp::Cas, width: Width::B8, rd, base, src, expected });
+    }
+
+    /// Full memory fence.
+    pub fn fence(&mut self) {
+        self.emit(Inst::Fence);
+    }
+
+    // ----- control flow -----
+
+    fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: &str) {
+        self.drafts.push(Draft::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Eq, rs1, rs2, label);
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Ne, rs1, rs2, label);
+    }
+
+    /// Branch if less-than (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Lt, rs1, rs2, label);
+    }
+
+    /// Branch if greater-or-equal (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Ge, rs1, rs2, label);
+    }
+
+    /// Branch if less-than (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Ltu, rs1, rs2, label);
+    }
+
+    /// Branch if greater-or-equal (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(Cond::Geu, rs1, rs2, label);
+    }
+
+    /// Branch if zero.
+    pub fn beqz(&mut self, rs1: Reg, label: &str) {
+        self.beq(rs1, Reg::ZERO, label);
+    }
+
+    /// Branch if non-zero.
+    pub fn bnez(&mut self, rs1: Reg, label: &str) {
+        self.bne(rs1, Reg::ZERO, label);
+    }
+
+    /// Unconditional jump.
+    pub fn j(&mut self, label: &str) {
+        self.drafts.push(Draft::Jal {
+            rd: Reg::ZERO,
+            label: label.to_string(),
+        });
+    }
+
+    /// Call: jump and link into `ra`.
+    pub fn call(&mut self, label: &str) {
+        self.drafts.push(Draft::Jal {
+            rd: Reg::RA,
+            label: label.to_string(),
+        });
+    }
+
+    /// Return: jump to `ra`.
+    pub fn ret(&mut self) {
+        self.emit(Inst::Jalr {
+            rd: Reg::ZERO,
+            base: Reg::RA,
+            off: 0,
+        });
+    }
+
+    /// Indirect jump-and-link.
+    pub fn jalr(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Inst::Jalr { rd, base, off });
+    }
+
+    /// `rd = instruction index of label` (for computed calls).
+    pub fn la(&mut self, rd: Reg, label: &str) {
+        self.drafts.push(Draft::La {
+            rd,
+            label: label.to_string(),
+        });
+    }
+
+    // ----- FP -----
+
+    /// `rd = rs1 +. rs2` (f64).
+    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Fp { op: FpOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 -. rs2`.
+    pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Fp { op: FpOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 *. rs2`.
+    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Fp { op: FpOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 /. rs2`.
+    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Fp { op: FpOp::Div, rd, rs1, rs2 });
+    }
+
+    /// `rd = sqrt(rs1)`.
+    pub fn fsqrt(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Inst::Fp { op: FpOp::Sqrt, rd, rs1, rs2: Reg::ZERO });
+    }
+
+    /// `rd = (rs1 <. rs2)`.
+    pub fn fcmplt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::FpCmp { cmp: FpCmp::Lt, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 <=. rs2)`.
+    pub fn fcmple(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::FpCmp { cmp: FpCmp::Le, rd, rs1, rs2 });
+    }
+
+    /// `rd = (f64)(i64)rs1`.
+    pub fn i2f(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Inst::I2F { rd, rs1 });
+    }
+
+    /// `rd = (i64)(f64)rs1` (truncating).
+    pub fn f2i(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Inst::F2I { rd, rs1 });
+    }
+
+    // ----- misc -----
+
+    /// `rd = hart id`.
+    pub fn coreid(&mut self, rd: Reg) {
+        self.emit(Inst::CoreId { rd });
+    }
+
+    /// `rd = current cycle count`.
+    pub fn rdcycle(&mut self, rd: Reg) {
+        self.emit(Inst::RdCycle { rd });
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    /// Halts the core.
+    pub fn halt(&mut self) {
+        self.emit(Inst::Halt);
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if a branch/jump references an
+    /// unknown label.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let labels = self.labels;
+        let resolve = |l: &String| -> Result<usize, AsmError> {
+            labels
+                .get(l)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(l.clone()))
+        };
+        let mut insts = Vec::with_capacity(self.drafts.len());
+        for d in &self.drafts {
+            let inst = match d {
+                Draft::Ready(i) => *i,
+                Draft::Branch { cond, rs1, rs2, label } => Inst::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: resolve(label)?,
+                },
+                Draft::Jal { rd, label } => Inst::Jal {
+                    rd: *rd,
+                    target: resolve(label)?,
+                },
+                Draft::La { rd, label } => Inst::Li {
+                    rd: *rd,
+                    imm: resolve(label)? as i64,
+                },
+            };
+            insts.push(inst);
+        }
+        Ok(Program::from_parts(insts, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::regs;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.j("end"); // forward
+        a.label("mid");
+        a.nop();
+        a.label("end");
+        a.j("mid"); // backward
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 2 }));
+        assert_eq!(p.fetch(2), Some(Inst::Jal { rd: Reg::ZERO, target: 1 }));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn call_links_ra() {
+        let mut a = Asm::new();
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::RA, target: 2 }));
+    }
+
+    #[test]
+    fn la_materializes_label_index() {
+        let mut a = Asm::new();
+        a.la(regs::T[0], "data");
+        a.halt();
+        a.label("data");
+        a.nop();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Li { rd: regs::T[0], imm: 2 }));
+    }
+
+    #[test]
+    fn lfd_roundtrips_f64_bits() {
+        let mut a = Asm::new();
+        a.lfd(regs::T[0], 3.25);
+        let p = a.assemble().unwrap();
+        match p.fetch(0) {
+            Some(Inst::Li { imm, .. }) => assert_eq!(f64::from_bits(imm as u64), 3.25),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

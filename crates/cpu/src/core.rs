@@ -1,0 +1,922 @@
+//! The in-order, single-issue timing core.
+//!
+//! Models an Ariane-class RV64 core (6-stage, single-issue, in-order,
+//! private FPU — Sec. IV of the paper) at the fidelity of an
+//! architecture-level simulator:
+//!
+//! * one instruction issues per cycle at best; multi-cycle ops occupy the
+//!   pipeline for their [`Inst::cost`],
+//! * loads are blocking (miss → the core stalls until the fill returns),
+//! * stores retire through a small store buffer (write-through L1); one
+//!   store is in flight to the L2 at a time, preserving store order,
+//! * loads stall on a store-buffer address (line) conflict,
+//! * AMOs and `Fence` drain the store buffer and block,
+//! * **MMIO accesses follow I/O ordering**: they drain the store buffer and
+//!   block the pipeline until the device acknowledges — this is the paper's
+//!   motivation for Shadow Registers (Sec. II-F): the ack latency, not the
+//!   issue rate, bounds soft-register bandwidth,
+//! * instruction fetch is modelled as ideal (the kernels are tiny and the
+//!   paper runs bare metal where the I-footprint is warm; documented
+//!   substitution).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use duet_mem::l1::{L1Cache, L1Config};
+use duet_mem::types::{Addr, LineAddr, MemReq, MemResp, Width};
+use duet_sim::{Clock, Time};
+
+use crate::isa::{AluOp, Cond, FpCmp, FpOp, Inst, Program, Reg};
+
+/// Core configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// The core (and system) clock.
+    pub clock: Clock,
+    /// Hart id returned by [`Inst::CoreId`].
+    pub hart_id: u64,
+    /// Addresses at or above this are uncached MMIO device space.
+    pub mmio_base: Addr,
+    /// Store buffer depth.
+    pub store_buffer: usize,
+    /// Extra cycles charged on a taken branch/jump (pipeline refill).
+    pub taken_branch_penalty: u32,
+    /// L1 data cache geometry.
+    pub l1: L1Config,
+}
+
+impl CoreConfig {
+    /// Dolly-like defaults at the given clock.
+    pub fn dolly(clock: Clock, hart_id: u64) -> Self {
+        CoreConfig {
+            clock,
+            hart_id,
+            mmio_base: 0x4000_0000,
+            store_buffer: 4,
+            taken_branch_penalty: 2,
+            l1: L1Config::dolly_l1d(),
+        }
+    }
+}
+
+/// Why the core is not issuing this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Wait {
+    /// Running normally.
+    None,
+    /// Waiting for a cached line fill: `(req id, rd, width, signed, addr)`.
+    Load(u64, Reg, Width, bool, Addr),
+    /// Waiting for an AMO response: `(req id, rd)`.
+    Amo(u64, Reg),
+    /// Waiting for an MMIO load: `(req id, rd, width, signed)`.
+    MmioLoad(u64, Reg, Width, bool),
+    /// Waiting for an MMIO store acknowledgement: req id.
+    MmioStore(u64),
+    /// Waiting for the store buffer to drain, then retry the current pc.
+    Drain,
+    /// Halted.
+    Halted,
+}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cached loads issued to the L2 (L1 misses).
+    pub load_misses: u64,
+    /// Loads satisfied by the L1.
+    pub load_hits: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// AMOs executed.
+    pub amos: u64,
+    /// MMIO loads + stores.
+    pub mmio_ops: u64,
+    /// Cycles spent with the pipeline blocked on memory.
+    pub mem_stall_cycles: u64,
+}
+
+/// The timing core. Owns its L1D; talks to the tile through a request queue
+/// and [`mem_response`](Core::mem_response).
+pub struct Core {
+    cfg: CoreConfig,
+    program: Arc<Program>,
+    regs: [u64; 32],
+    pc: usize,
+    next_issue: Time,
+    wait: Wait,
+    /// Stores accepted but not yet sent to the L2.
+    store_buf: VecDeque<MemReq>,
+    /// Id of the store currently in flight to the L2, if any.
+    store_inflight: Option<u64>,
+    next_id: u64,
+    out: VecDeque<MemReq>,
+    l1: L1Cache,
+    stats: CoreStats,
+    halted: bool,
+    last_breakdown: duet_sim::LatencyBreakdown,
+    /// A back-invalidation hit the line of the in-flight load: use the fill
+    /// data once but do not install it in the L1 (inclusion).
+    fill_poisoned: bool,
+}
+
+impl Core {
+    /// Creates a core at `pc = 0` with zeroed registers.
+    pub fn new(cfg: CoreConfig, program: Arc<Program>) -> Self {
+        Core {
+            cfg,
+            program,
+            regs: [0; 32],
+            pc: 0,
+            next_issue: Time::ZERO,
+            wait: Wait::None,
+            store_buf: VecDeque::new(),
+            store_inflight: None,
+            next_id: 1,
+            out: VecDeque::new(),
+            l1: L1Cache::new(cfg.l1),
+            stats: CoreStats::default(),
+            halted: false,
+            last_breakdown: duet_sim::LatencyBreakdown::new(),
+            fill_poisoned: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> duet_mem::l1::L1Stats {
+        self.l1.stats()
+    }
+
+    /// Whether the core has executed `Halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current program counter (debug aid).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether the L1 holds `line` (debug aid).
+    pub fn l1_contains(&self, line: LineAddr) -> bool {
+        self.l1.contains(line)
+    }
+
+    /// A short description of why the core is not issuing (debug aid).
+    pub fn wait_state(&self) -> String {
+        format!("{:?} store_buf={} inflight={:?}", self.wait, self.store_buf.len(), self.store_inflight)
+    }
+
+    /// Reads a register (x0 reads as zero).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Writes a register (writes to x0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Jumps to a label (program setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not exist.
+    pub fn set_pc_label(&mut self, label: &str) {
+        self.pc = self
+            .program
+            .label(label)
+            .unwrap_or_else(|| panic!("unknown label `{label}`"));
+    }
+
+    /// Sets the program counter to a raw instruction index.
+    pub fn set_pc(&mut self, pc: usize) {
+        self.pc = pc;
+    }
+
+    /// Pops the next memory request bound for the tile (L2 or MMIO,
+    /// distinguished by address against `cfg.mmio_base`).
+    pub fn pop_mem_request(&mut self) -> Option<MemReq> {
+        self.out.pop_front()
+    }
+
+    /// Whether `addr` falls in the MMIO region.
+    pub fn is_mmio(&self, addr: Addr) -> bool {
+        addr >= self.cfg.mmio_base
+    }
+
+    /// Applies a back-invalidation from the L2 (inclusion). If the
+    /// invalidation targets the line of an in-flight load, the eventual
+    /// fill is used once and not cached (the L2 has already given the line
+    /// away; caching it would orphan a stale copy).
+    pub fn back_invalidate(&mut self, line: LineAddr) {
+        self.l1.invalidate(line);
+        if let Wait::Load(_, _, _, _, addr) = self.wait {
+            if LineAddr::containing(addr) == line {
+                self.fill_poisoned = true;
+            }
+        }
+    }
+
+    /// Latency attribution of the most recent completed cached load/AMO
+    /// miss (used by the Fig. 9 breakdown harness).
+    pub fn last_breakdown(&self) -> duet_sim::LatencyBreakdown {
+        self.last_breakdown
+    }
+
+    /// Delivers a memory response from the tile.
+    pub fn mem_response(&mut self, resp: MemResp) {
+        if self.store_inflight == Some(resp.id) {
+            self.store_inflight = None;
+            return;
+        }
+        match self.wait {
+            Wait::Load(id, rd, width, signed, addr) if id == resp.id => {
+                self.last_breakdown = resp.breakdown;
+                let line = resp.line.expect("cached load returns a full line");
+                if resp.cacheable && !self.fill_poisoned {
+                    self.l1.fill(LineAddr::containing(addr), line);
+                }
+                self.fill_poisoned = false;
+                let raw = duet_mem::types::read_scalar(&line, LineAddr::offset(addr), width);
+                self.set_reg(rd, extend(raw, width, signed));
+                self.wait = Wait::None;
+            }
+            Wait::Amo(id, rd) if id == resp.id => {
+                self.set_reg(rd, resp.rdata);
+                self.wait = Wait::None;
+            }
+            Wait::MmioLoad(id, rd, width, signed) if id == resp.id => {
+                self.set_reg(rd, extend(resp.rdata & width.mask(), width, signed));
+                self.wait = Wait::None;
+            }
+            Wait::MmioStore(id) if id == resp.id => {
+                self.wait = Wait::None;
+            }
+            _ => panic!("unexpected memory response id {}", resp.id),
+        }
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn store_buf_conflicts(&self, line: LineAddr) -> bool {
+        self.store_buf
+            .iter()
+            .any(|s| LineAddr::containing(s.addr) == line)
+    }
+
+    fn drain_needed(&self) -> bool {
+        !self.store_buf.is_empty() || self.store_inflight.is_some()
+    }
+
+    /// Issues at most one store from the store buffer to the L2.
+    fn pump_store_buffer(&mut self) {
+        if self.store_inflight.is_none() {
+            if let Some(req) = self.store_buf.pop_front() {
+                self.store_inflight = Some(req.id);
+                self.out.push_back(req);
+            }
+        }
+    }
+
+    /// Advances the core by one clock edge.
+    pub fn tick(&mut self, now: Time) {
+        self.pump_store_buffer();
+        match self.wait {
+            Wait::Halted => return,
+            Wait::Load(..) | Wait::Amo(..) | Wait::MmioLoad(..) | Wait::MmioStore(..) => {
+                self.stats.mem_stall_cycles += 1;
+                return;
+            }
+            Wait::Drain => {
+                if self.drain_needed() {
+                    self.stats.mem_stall_cycles += 1;
+                    return;
+                }
+                self.wait = Wait::None;
+            }
+            Wait::None => {}
+        }
+        if now < self.next_issue {
+            return;
+        }
+        let Some(inst) = self.program.fetch(self.pc) else {
+            // Running off the end halts the core (defensive).
+            self.halted = true;
+            self.wait = Wait::Halted;
+            return;
+        };
+        let period = self.cfg.clock.period();
+        let mut next_pc = self.pc + 1;
+        let mut cost = inst.cost();
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = alu(op, self.reg(rs1), imm as u64);
+                self.set_reg(rd, v);
+            }
+            Inst::Li { rd, imm } => self.set_reg(rd, imm as u64),
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                base,
+                off,
+            } => {
+                let addr = self.reg(base).wrapping_add(off as u64);
+                if self.is_mmio(addr) {
+                    if self.drain_needed() {
+                        self.wait = Wait::Drain;
+                        return; // retry this instruction after the drain
+                    }
+                    let id = self.alloc_id();
+                    self.stats.mmio_ops += 1;
+                    self.out.push_back(MemReq::load(id, addr, width));
+                    self.wait = Wait::MmioLoad(id, rd, width, signed);
+                } else {
+                    let line = LineAddr::containing(addr);
+                    if self.store_buf_conflicts(line)
+                        || (self.store_inflight.is_some() && self.drain_needed_for(line))
+                    {
+                        self.stats.mem_stall_cycles += 1;
+                        return; // retry next cycle
+                    }
+                    match self.l1.load(addr, width) {
+                        Some(raw) => {
+                            self.stats.load_hits += 1;
+                            self.set_reg(rd, extend(raw, width, signed));
+                            cost = cost.max(self.cfg.l1.hit_cycles);
+                        }
+                        None => {
+                            self.stats.load_misses += 1;
+                            let id = self.alloc_id();
+                            self.out.push_back(MemReq::load_line(id, line.base()));
+                            self.wait = Wait::Load(id, rd, width, signed, addr);
+                        }
+                    }
+                }
+            }
+            Inst::Store {
+                width,
+                src,
+                base,
+                off,
+            } => {
+                let addr = self.reg(base).wrapping_add(off as u64);
+                let value = self.reg(src) & width.mask();
+                if self.is_mmio(addr) {
+                    if self.drain_needed() {
+                        self.wait = Wait::Drain;
+                        return;
+                    }
+                    let id = self.alloc_id();
+                    self.stats.mmio_ops += 1;
+                    self.out.push_back(MemReq::store(id, addr, width, value));
+                    self.wait = Wait::MmioStore(id);
+                } else {
+                    if self.store_buf.len() >= self.cfg.store_buffer {
+                        self.stats.mem_stall_cycles += 1;
+                        return; // retry next cycle
+                    }
+                    self.stats.stores += 1;
+                    self.l1.store(addr, width, value);
+                    let id = self.alloc_id();
+                    self.store_buf.push_back(MemReq::store(id, addr, width, value));
+                }
+            }
+            Inst::Amo {
+                op,
+                width,
+                rd,
+                base,
+                src,
+                expected,
+            } => {
+                if self.drain_needed() {
+                    self.wait = Wait::Drain;
+                    return;
+                }
+                let addr = self.reg(base);
+                let id = self.alloc_id();
+                self.stats.amos += 1;
+                // The L2 performs the read-modify-write; invalidate our L1
+                // copy so subsequent loads refetch the updated line.
+                self.l1.invalidate(LineAddr::containing(addr));
+                self.out.push_back(MemReq::amo(
+                    id,
+                    op,
+                    addr,
+                    width,
+                    self.reg(src),
+                    self.reg(expected),
+                ));
+                self.wait = Wait::Amo(id, rd);
+            }
+            Inst::Fence => {
+                if self.drain_needed() {
+                    self.wait = Wait::Drain;
+                    return;
+                }
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if branch_taken(cond, self.reg(rs1), self.reg(rs2)) {
+                    next_pc = target;
+                    cost += self.cfg.taken_branch_penalty;
+                }
+            }
+            Inst::Jal { rd, target } => {
+                self.set_reg(rd, (self.pc + 1) as u64);
+                next_pc = target;
+                cost += self.cfg.taken_branch_penalty;
+            }
+            Inst::Jalr { rd, base, off } => {
+                let target = self.reg(base).wrapping_add(off as u64) as usize;
+                self.set_reg(rd, (self.pc + 1) as u64);
+                next_pc = target;
+                cost += self.cfg.taken_branch_penalty;
+            }
+            Inst::Fp { op, rd, rs1, rs2 } => {
+                let a = f64::from_bits(self.reg(rs1));
+                let b = f64::from_bits(self.reg(rs2));
+                let v = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Mul => a * b,
+                    FpOp::Div => a / b,
+                    FpOp::Sqrt => a.sqrt(),
+                    FpOp::Min => a.min(b),
+                    FpOp::Max => a.max(b),
+                };
+                self.set_reg(rd, v.to_bits());
+            }
+            Inst::FpCmp { cmp, rd, rs1, rs2 } => {
+                let a = f64::from_bits(self.reg(rs1));
+                let b = f64::from_bits(self.reg(rs2));
+                let v = match cmp {
+                    FpCmp::Lt => a < b,
+                    FpCmp::Le => a <= b,
+                    FpCmp::Eq => a == b,
+                };
+                self.set_reg(rd, u64::from(v));
+            }
+            Inst::I2F { rd, rs1 } => {
+                let v = self.reg(rs1) as i64 as f64;
+                self.set_reg(rd, v.to_bits());
+            }
+            Inst::F2I { rd, rs1 } => {
+                let v = f64::from_bits(self.reg(rs1));
+                self.set_reg(rd, v as i64 as u64);
+            }
+            Inst::CoreId { rd } => self.set_reg(rd, self.cfg.hart_id),
+            Inst::RdCycle { rd } => self.set_reg(rd, self.cfg.clock.cycles_at(now)),
+            Inst::Nop => {}
+            Inst::Halt => {
+                self.halted = true;
+                self.wait = Wait::Halted;
+                self.stats.instret += 1;
+                return;
+            }
+        }
+        self.stats.instret += 1;
+        self.pc = next_pc;
+        self.next_issue = now + period.mul(u64::from(cost));
+    }
+
+    /// Whether a load to `line` must wait for the in-flight store (same
+    /// line only; loads may pass stores to other lines, as in TSO).
+    fn drain_needed_for(&self, _line: LineAddr) -> bool {
+        // The in-flight store's address is no longer in the buffer; being
+        // conservative only about buffered stores keeps TSO load->load and
+        // store->store order while letting loads pass unrelated stores.
+        false
+    }
+}
+
+fn extend(raw: u64, width: Width, signed: bool) -> u64 {
+    if !signed || width == Width::B8 {
+        return raw & width.mask();
+    }
+    let bits = width.bytes() * 8;
+    let shift = 64 - bits;
+    (((raw << shift) as i64) >> shift) as u64
+}
+
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b as u32 & 63),
+        AluOp::Srl => a.wrapping_shr(b as u32 & 63),
+        AluOp::Sra => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        AluOp::Sltu => u64::from(a < b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                ((a as i64).wrapping_div(b as i64)) as u64
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn branch_taken(cond: Cond, a: u64, b: u64) -> bool {
+    match cond {
+        Cond::Eq => a == b,
+        Cond::Ne => a != b,
+        Cond::Lt => (a as i64) < (b as i64),
+        Cond::Ge => (a as i64) >= (b as i64),
+        Cond::Ltu => a < b,
+        Cond::Geu => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::regs;
+    use duet_mem::types::MemOp;
+    use std::collections::BTreeMap;
+
+    /// Instant functional memory with a fixed response delay, for testing
+    /// the core in isolation.
+    struct TestMem {
+        data: BTreeMap<u64, u8>,
+        delay_cycles: u64,
+        inflight: Vec<(Time, MemResp)>,
+    }
+
+    impl TestMem {
+        fn new() -> Self {
+            TestMem {
+                data: BTreeMap::new(),
+                delay_cycles: 3,
+                inflight: Vec::new(),
+            }
+        }
+
+        fn read_line(&self, base: u64) -> [u8; 16] {
+            let mut line = [0u8; 16];
+            for (i, b) in line.iter_mut().enumerate() {
+                *b = self.data.get(&(base + i as u64)).copied().unwrap_or(0);
+            }
+            line
+        }
+
+        fn write_scalar(&mut self, addr: u64, width: Width, v: u64) {
+            for i in 0..width.bytes() {
+                self.data.insert(addr + i as u64, (v >> (8 * i)) as u8);
+            }
+        }
+
+        fn read_scalar(&self, addr: u64, width: Width) -> u64 {
+            let mut v = 0u64;
+            for i in 0..width.bytes() {
+                v |= u64::from(self.data.get(&(addr + i as u64)).copied().unwrap_or(0))
+                    << (8 * i);
+            }
+            v
+        }
+
+        fn service(&mut self, now: Time, req: MemReq) {
+            let ready = now + Time::from_ps(1000 * self.delay_cycles);
+            let resp = match req.op {
+                MemOp::LoadLine | MemOp::IFetch => MemResp {
+                    id: req.id,
+                    rdata: 0,
+                    line: Some(self.read_line(req.addr & !0xF)),
+                    cacheable: true,
+                    breakdown: Default::default(),
+                },
+                MemOp::Load(w) => MemResp {
+                    id: req.id,
+                    rdata: self.read_scalar(req.addr, w),
+                    line: None,
+                    cacheable: true,
+                    breakdown: Default::default(),
+                },
+                MemOp::Store(w) => {
+                    self.write_scalar(req.addr, w, req.wdata);
+                    MemResp {
+                        id: req.id,
+                        rdata: 0,
+                        line: None,
+                        cacheable: true,
+                        breakdown: Default::default(),
+                    }
+                }
+                MemOp::Amo(op, w) => {
+                    let mut line = self.read_line(req.addr & !0xF);
+                    let old = duet_mem::types::apply_amo(
+                        &mut line,
+                        (req.addr & 0xF) as usize,
+                        w,
+                        op,
+                        req.wdata,
+                        req.expected,
+                    );
+                    for (i, b) in line.iter().enumerate() {
+                        self.data.insert((req.addr & !0xF) + i as u64, *b);
+                    }
+                    MemResp {
+                        id: req.id,
+                        rdata: old,
+                        line: None,
+                        cacheable: true,
+                        breakdown: Default::default(),
+                    }
+                }
+            };
+            self.inflight.push((ready, resp));
+        }
+
+        fn deliver(&mut self, now: Time, core: &mut Core) {
+            let ready: Vec<usize> = self
+                .inflight
+                .iter()
+                .enumerate()
+                .filter(|(_, (t, _))| *t <= now)
+                .map(|(i, _)| i)
+                .collect();
+            for i in ready.into_iter().rev() {
+                let (_, resp) = self.inflight.remove(i);
+                core.mem_response(resp);
+            }
+        }
+    }
+
+    /// Runs a program to completion, returning (cycles, core, mem).
+    fn run(asm: Asm, setup: impl FnOnce(&mut Core, &mut TestMem)) -> (u64, Core, TestMem) {
+        let prog = Arc::new(asm.assemble().unwrap());
+        let clock = Clock::ghz1();
+        let mut core = Core::new(CoreConfig::dolly(clock, 0), prog);
+        let mut mem = TestMem::new();
+        setup(&mut core, &mut mem);
+        let mut cycles = 0u64;
+        let mut now = Time::ZERO;
+        while !core.is_halted() {
+            now = clock.next_edge_after(now);
+            mem.deliver(now, &mut core);
+            core.tick(now);
+            while let Some(req) = core.pop_mem_request() {
+                mem.service(now, req);
+            }
+            cycles += 1;
+            assert!(cycles < 1_000_000, "program did not halt");
+        }
+        (cycles, core, mem)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let mut a = Asm::new();
+        let (n, acc, i) = (regs::A[0], regs::T[0], regs::T[1]);
+        a.li(acc, 0);
+        a.li(i, 0);
+        a.label("loop");
+        a.add(acc, acc, i);
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let (_, core, _) = run(a, |c, _| c.set_reg(regs::A[0], 10));
+        assert_eq!(core.reg(regs::T[0]), 45);
+    }
+
+    #[test]
+    fn store_then_load_roundtrip_through_memory() {
+        let mut a = Asm::new();
+        let (addr, v, out) = (regs::T[0], regs::T[1], regs::T[2]);
+        a.li(addr, 0x1000);
+        a.li(v, 0xDEAD);
+        a.sd(v, addr, 0);
+        a.fence();
+        a.ld(out, addr, 0);
+        a.halt();
+        let (_, core, mem) = run(a, |_, _| {});
+        assert_eq!(core.reg(regs::T[2]), 0xDEAD);
+        assert_eq!(mem.read_scalar(0x1000, Width::B8), 0xDEAD);
+    }
+
+    #[test]
+    fn load_miss_stalls_then_hits() {
+        let mut a = Asm::new();
+        let (addr, x, y) = (regs::T[0], regs::T[1], regs::T[2]);
+        a.li(addr, 0x2000);
+        a.ld(x, addr, 0); // miss
+        a.ld(y, addr, 8); // same line: L1 hit
+        a.halt();
+        let (_, core, _) = run(a, |_, m| {
+            m.write_scalar(0x2000, Width::B8, 7);
+            m.write_scalar(0x2008, Width::B8, 9);
+        });
+        assert_eq!(core.reg(regs::T[1]), 7);
+        assert_eq!(core.reg(regs::T[2]), 9);
+        assert_eq!(core.stats().load_misses, 1);
+        assert_eq!(core.stats().load_hits, 1);
+    }
+
+    #[test]
+    fn signed_loads_extend() {
+        let mut a = Asm::new();
+        a.li(regs::T[0], 0x3000);
+        a.lw(regs::T[1], regs::T[0], 0);
+        a.lwu(regs::T[2], regs::T[0], 0);
+        a.halt();
+        let (_, core, _) = run(a, |_, m| {
+            m.write_scalar(0x3000, Width::B4, 0xFFFF_FFFF);
+        });
+        assert_eq!(core.reg(regs::T[1]), u64::MAX, "lw sign-extends");
+        assert_eq!(core.reg(regs::T[2]), 0xFFFF_FFFF, "lwu zero-extends");
+    }
+
+    #[test]
+    fn function_call_with_stack() {
+        // f(x) = x*2, called twice via the stack.
+        let mut a = Asm::new();
+        a.li(Reg::SP, 0x8000);
+        a.li(regs::A[0], 21);
+        a.call("f");
+        a.mv(regs::S[0], regs::A[0]);
+        a.li(regs::A[0], 4);
+        a.call("f");
+        a.add(regs::A[0], regs::A[0], regs::S[0]);
+        a.halt();
+        a.label("f");
+        a.addi(Reg::SP, Reg::SP, -8);
+        a.sd(Reg::RA, Reg::SP, 0);
+        a.add(regs::A[0], regs::A[0], regs::A[0]);
+        a.ld(Reg::RA, Reg::SP, 0);
+        a.addi(Reg::SP, Reg::SP, 8);
+        a.ret();
+        let (_, core, _) = run(a, |_, _| {});
+        assert_eq!(core.reg(regs::A[0]), 50);
+    }
+
+    #[test]
+    fn amo_add_is_atomic_rmw() {
+        let mut a = Asm::new();
+        a.li(regs::T[0], 0x4000);
+        a.li(regs::T[1], 5);
+        a.amoadd(regs::T[2], regs::T[0], regs::T[1]);
+        a.halt();
+        let (_, core, mem) = run(a, |_, m| m.write_scalar(0x4000, Width::B8, 10));
+        assert_eq!(core.reg(regs::T[2]), 10, "AMO returns old value");
+        assert_eq!(mem.read_scalar(0x4000, Width::B8), 15);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut a = Asm::new();
+        a.li(regs::T[0], 0x5000);
+        a.li(regs::T[1], 0); // expected
+        a.li(regs::T[2], 1); // new
+        a.cas(regs::T[3], regs::T[0], regs::T[1], regs::T[2]);
+        a.cas(regs::T[4], regs::T[0], regs::T[1], regs::T[2]); // now fails
+        a.halt();
+        let (_, core, mem) = run(a, |_, _| {});
+        assert_eq!(core.reg(regs::T[3]), 0, "first CAS sees 0 (success)");
+        assert_eq!(core.reg(regs::T[4]), 1, "second CAS sees 1 (failure)");
+        assert_eq!(mem.read_scalar(0x5000, Width::B8), 1);
+    }
+
+    #[test]
+    fn mmio_store_blocks_until_ack() {
+        let mut a = Asm::new();
+        a.li(regs::T[0], 0x4000_0000u64 as i64);
+        a.li(regs::T[1], 7);
+        a.sd(regs::T[1], regs::T[0], 0);
+        a.halt();
+        let (cycles, core, _) = run(a, |_, _| {});
+        assert_eq!(core.stats().mmio_ops, 1);
+        // 3 instructions + ~delay cycles of blocking: more than 4 cycles.
+        assert!(cycles >= 5, "MMIO store must block: {cycles} cycles");
+    }
+
+    #[test]
+    fn taken_branch_pays_penalty() {
+        // Loop of N taken branches vs straightline: cycle gap shows penalty.
+        let mut a = Asm::new();
+        let i = regs::T[0];
+        a.li(i, 0);
+        a.label("l");
+        a.addi(i, i, 1);
+        a.slti(regs::T[1], i, 100);
+        a.bnez(regs::T[1], "l");
+        a.halt();
+        let (cycles, _, _) = run(a, |_, _| {});
+        // 100 iterations * (3 insts + 2 penalty) ≈ 500.
+        assert!(cycles > 400, "taken-branch penalty missing: {cycles}");
+    }
+
+    #[test]
+    fn coreid_reads_hart() {
+        let mut a = Asm::new();
+        a.coreid(regs::T[0]);
+        a.halt();
+        let prog = Arc::new(a.assemble().unwrap());
+        let mut core = Core::new(CoreConfig::dolly(Clock::ghz1(), 3), prog);
+        let mut now = Time::ZERO;
+        while !core.is_halted() {
+            now = Clock::ghz1().next_edge_after(now);
+            core.tick(now);
+        }
+        assert_eq!(core.reg(regs::T[0]), 3);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut a = Asm::new();
+        a.li(Reg::ZERO, 99);
+        a.mv(regs::T[0], Reg::ZERO);
+        a.halt();
+        let (_, core, _) = run(a, |_, _| {});
+        assert_eq!(core.reg(regs::T[0]), 0);
+    }
+
+    #[test]
+    fn fp_pipeline_computes() {
+        let mut a = Asm::new();
+        a.lfd(regs::T[0], 2.0);
+        a.lfd(regs::T[1], 8.0);
+        a.fmul(regs::T[2], regs::T[0], regs::T[1]);
+        a.fsqrt(regs::T[3], regs::T[2]);
+        a.fcmplt(regs::T[4], regs::T[0], regs::T[1]);
+        a.halt();
+        let (_, core, _) = run(a, |_, _| {});
+        assert_eq!(f64::from_bits(core.reg(regs::T[2])), 16.0);
+        assert_eq!(f64::from_bits(core.reg(regs::T[3])), 4.0);
+        assert_eq!(core.reg(regs::T[4]), 1);
+    }
+
+    #[test]
+    fn store_buffer_allows_overlap() {
+        // Stores to distinct lines shouldn't serialize the pipeline stall
+        // for each one (write-through buffered).
+        let mut a = Asm::new();
+        a.li(regs::T[0], 0x6000);
+        for k in 0..4 {
+            a.li(regs::T[1], k);
+            a.sd(regs::T[1], regs::T[0], k * 64);
+        }
+        a.halt();
+        let (cycles, core, _) = run(a, |_, _| {});
+        assert_eq!(core.stats().stores, 4);
+        // 9 instructions + drain; far less than 4 * blocking-delay.
+        assert!(cycles < 40, "store buffer not overlapping: {cycles}");
+    }
+}

@@ -1,0 +1,179 @@
+//! The hard-component area/frequency database (Table I of the paper) and
+//! the Area-Delay-Product accounting rules of Fig. 12.
+//!
+//! Table I is reported synthesis data (Synopsys DC + FreePDK45 + published
+//! Ariane/OpenPiton numbers); we cannot re-run those flows, so the values
+//! are carried as a database and consumed exactly the way the paper
+//! consumes them: per-configuration silicon area sums feeding the ADP
+//! metric.
+
+/// One row of Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComponentArea {
+    /// Component name.
+    pub name: &'static str,
+    /// Source technology the number was reported in.
+    pub technology: &'static str,
+    /// Area in the source technology, mm².
+    pub area_mm2: f64,
+    /// Typical frequency in the source technology, MHz.
+    pub freq_mhz: f64,
+    /// Area scaled to 45 nm with a linear MOSFET scaling model, mm².
+    pub scaled_area_mm2: f64,
+    /// Frequency scaled to 45 nm, MHz.
+    pub scaled_freq_mhz: f64,
+}
+
+/// Ariane core (GlobalFoundries 22 nm FDX; Zaruba & Benini 2019).
+pub const ARIANE: ComponentArea = ComponentArea {
+    name: "Ariane",
+    technology: "GlobalFoundries 22nm FDX",
+    area_mm2: 0.39,
+    freq_mhz: 910.0,
+    scaled_area_mm2: 1.56,
+    scaled_freq_mhz: 455.0,
+};
+
+/// P-Mesh socket: L2, NoC routers, L3 shard (IBM 32 nm SOI; OpenPiton).
+pub const PMESH_SOCKET: ComponentArea = ComponentArea {
+    name: "P-Mesh Socket",
+    technology: "IBM 32nm SOI",
+    area_mm2: 0.55,
+    freq_mhz: 1000.0,
+    scaled_area_mm2: 1.1,
+    scaled_freq_mhz: 711.0,
+};
+
+/// FPGA Manager + Soft Register Interface (FreePDK45 synthesis).
+pub const FPGA_MGR_SOFT_REG: ComponentArea = ComponentArea {
+    name: "FPGA Mgr + Soft Reg Intf",
+    technology: "FreePDK45",
+    area_mm2: 0.21,
+    freq_mhz: 925.0,
+    scaled_area_mm2: 0.21,
+    scaled_freq_mhz: 925.0,
+};
+
+/// The coherent memory interface added to the P-Mesh L2 (the Proxy Cache
+/// glue; FreePDK45 synthesis).
+pub const COHERENT_MEM_INTF: ComponentArea = ComponentArea {
+    name: "Coherent Memory Intf",
+    technology: "FreePDK45",
+    area_mm2: 0.04,
+    freq_mhz: 1250.0,
+    scaled_area_mm2: 0.04,
+    scaled_freq_mhz: 1250.0,
+};
+
+/// All rows of Table I, in paper order.
+pub fn table1() -> Vec<ComponentArea> {
+    vec![ARIANE, PMESH_SOCKET, FPGA_MGR_SOFT_REG, COHERENT_MEM_INTF]
+}
+
+/// Area of one Ariane + one P-Mesh socket — the normalization unit of
+/// Table II and Fig. 12 ("normalized to 1x Ariane + 1x P-Mesh Socket").
+pub fn base_tile_area_mm2() -> f64 {
+    ARIANE.scaled_area_mm2 + PMESH_SOCKET.scaled_area_mm2
+}
+
+/// Silicon-area accounting of Fig. 12 for one system configuration.
+///
+/// * processor-only: `p` cores × (Ariane + socket),
+/// * FPSoC-like: adds the eFPGA fabric,
+/// * Duet: further adds the Duet Adapters (Control Hub socket + per-hub
+///   coherent memory interfaces + FPGA manager/soft-register interface).
+#[derive(Clone, Copy, Debug)]
+pub struct AreaModel {
+    /// Number of processor tiles.
+    pub processors: usize,
+    /// Number of Memory Hubs (0 for processor-only / none used).
+    pub memory_hubs: usize,
+    /// eFPGA fabric silicon area, mm² (0 for processor-only).
+    pub fabric_mm2: f64,
+}
+
+impl AreaModel {
+    /// Total area of the processor-only baseline, mm².
+    pub fn processor_only_mm2(&self) -> f64 {
+        self.processors as f64 * base_tile_area_mm2()
+    }
+
+    /// Total area of the FPSoC-like configuration, mm²: baseline plus the
+    /// fabric (the FPSoC integrates the FPGA behind a centralized
+    /// interconnect with no adapters).
+    pub fn fpsoc_mm2(&self) -> f64 {
+        self.processor_only_mm2() + self.fabric_mm2
+    }
+
+    /// Total area of the Duet configuration, mm²: FPSoC plus the Duet
+    /// Adapter tiles. Each adapter tile reuses a P-Mesh socket (C/M tiles
+    /// carry L2+router+L3 shard like any tile) plus the hub-specific logic.
+    pub fn duet_mm2(&self) -> f64 {
+        let adapter_tiles = self.memory_hubs.max(1); // >=1 C-tile when an eFPGA exists
+        let adapters = adapter_tiles as f64
+            * (PMESH_SOCKET.scaled_area_mm2 + COHERENT_MEM_INTF.scaled_area_mm2)
+            + FPGA_MGR_SOFT_REG.scaled_area_mm2;
+        if self.fabric_mm2 == 0.0 {
+            // No eFPGA at all: pure processor system.
+            self.processor_only_mm2()
+        } else {
+            self.fpsoc_mm2() + adapters
+        }
+    }
+}
+
+/// Area-Delay Product, normalized: `(area / base_area) * (time / base_time)`.
+pub fn normalized_adp(area_mm2: f64, runtime_ps: u64, base_area_mm2: f64, base_runtime_ps: u64) -> f64 {
+    (area_mm2 / base_area_mm2) * (runtime_ps as f64 / base_runtime_ps as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].name, "Ariane");
+        assert_eq!(t[0].scaled_area_mm2, 1.56);
+        assert_eq!(t[1].scaled_freq_mhz, 711.0);
+        assert_eq!(t[3].area_mm2, 0.04);
+    }
+
+    #[test]
+    fn base_tile_is_ariane_plus_socket() {
+        assert!((base_tile_area_mm2() - 2.66).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_ordering_proconly_fpsoc_duet() {
+        let m = AreaModel {
+            processors: 4,
+            memory_hubs: 1,
+            fabric_mm2: 5.0,
+        };
+        assert!(m.processor_only_mm2() < m.fpsoc_mm2());
+        assert!(m.fpsoc_mm2() < m.duet_mm2());
+    }
+
+    #[test]
+    fn adapter_overhead_is_small() {
+        // The paper's headline: "the Duet Adapter introduces negligible
+        // hardware overhead". Adapter area must be well under one core.
+        let m = AreaModel {
+            processors: 1,
+            memory_hubs: 1,
+            fabric_mm2: 1.0,
+        };
+        let adapter = m.duet_mm2() - m.fpsoc_mm2();
+        assert!(adapter < base_tile_area_mm2(), "adapter {adapter} mm2 too big");
+    }
+
+    #[test]
+    fn normalized_adp_identity() {
+        assert_eq!(normalized_adp(2.0, 100, 2.0, 100), 1.0);
+        // Half the time at double the area = same ADP.
+        assert!((normalized_adp(4.0, 50, 2.0, 100) - 1.0).abs() < 1e-12);
+    }
+}

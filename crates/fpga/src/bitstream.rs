@@ -1,0 +1,140 @@
+//! Bitstreams and the configuration-memory model.
+//!
+//! The Control Hub's FPGA Manager "loads the bitstream into the
+//! configuration memory, and performs integrity checks to detect data
+//! corruption" (Sec. II-E). This module models the bitstream itself; the
+//! programming engine that streams it lives in `duet-core`.
+
+use crate::fabric::{FabricSpec, NetlistSummary};
+
+/// Configuration bits per CLB tile (LUT masks + routing mux state).
+const BITS_PER_CLB: u64 = 1600;
+/// Configuration bits per BRAM tile (initialization + mode).
+const BITS_PER_BRAM: u64 = 2048;
+/// Configuration bits per multiplier tile.
+const BITS_PER_MULT: u64 = 256;
+
+/// A configuration bitstream for one fabric instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitstream {
+    /// Design name this bitstream implements.
+    pub design: String,
+    /// Configuration words (64-bit).
+    pub words: Vec<u64>,
+    /// Integrity checksum over `words`.
+    pub checksum: u64,
+}
+
+impl Bitstream {
+    /// Generates a synthetic bitstream sized for `netlist` on `fabric`
+    /// (deterministic content derived from the design name).
+    pub fn generate(fabric: &FabricSpec, netlist: &NetlistSummary) -> Self {
+        let report = fabric.implement(netlist);
+        let (clbs, brams, mults) = fabric.tiles(report.grid);
+        let bits = u64::from(clbs) * BITS_PER_CLB
+            + u64::from(brams) * BITS_PER_BRAM
+            + u64::from(mults) * BITS_PER_MULT;
+        let n_words = bits.div_ceil(64) as usize;
+        let mut seed = netlist
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+            });
+        let words: Vec<u64> = (0..n_words)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            })
+            .collect();
+        let checksum = Self::checksum_of(&words);
+        Bitstream {
+            design: netlist.name.to_string(),
+            words,
+            checksum,
+        }
+    }
+
+    /// The integrity checksum the programming engine verifies.
+    pub fn checksum_of(words: &[u64]) -> u64 {
+        words
+            .iter()
+            .fold(0u64, |acc, w| acc.rotate_left(1) ^ *w)
+    }
+
+    /// Whether the stored checksum matches the contents.
+    pub fn verify(&self) -> bool {
+        Self::checksum_of(&self.words) == self.checksum
+    }
+
+    /// Length in 64-bit words.
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Corrupts one word (fault-injection in tests).
+    pub fn corrupt(&mut self, index: usize) {
+        let i = index % self.words.len().max(1);
+        if let Some(w) = self.words.get_mut(i) {
+            *w ^= 0x1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netlist() -> NetlistSummary {
+        NetlistSummary {
+            name: "probe",
+            luts: 500,
+            ffs: 400,
+            bram_kbits: 32,
+            mults: 1,
+            logic_levels: 5,
+        }
+    }
+
+    #[test]
+    fn generated_bitstream_verifies() {
+        let bs = Bitstream::generate(&FabricSpec::k6_frac_n10_mem32k(), &netlist());
+        assert!(bs.len_words() > 0);
+        assert!(bs.verify());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bs = Bitstream::generate(&FabricSpec::k6_frac_n10_mem32k(), &netlist());
+        bs.corrupt(7);
+        assert!(!bs.verify(), "integrity check must catch corruption");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let f = FabricSpec::k6_frac_n10_mem32k();
+        let a = Bitstream::generate(&f, &netlist());
+        let b = Bitstream::generate(&f, &netlist());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_scales_with_design() {
+        let f = FabricSpec::k6_frac_n10_mem32k();
+        let small = Bitstream::generate(&f, &netlist());
+        let big = Bitstream::generate(
+            &f,
+            &NetlistSummary {
+                name: "big",
+                luts: 20_000,
+                ffs: 10_000,
+                bram_kbits: 512,
+                mults: 16,
+                logic_levels: 8,
+            },
+        );
+        assert!(big.len_words() > small.len_words());
+    }
+}

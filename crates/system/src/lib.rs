@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # duet-system
+//!
+//! Full-system assembly of the Duet reproduction: Dolly-PpMm instances
+//! (Sec. IV, Fig. 8), the FPSoC-like baseline, and the processor-only
+//! baseline, all driven by a deterministic dual-clock edge loop.
+//!
+//! A system consists of:
+//!
+//! * `p` **P-tiles**: an in-order core + write-through L1D + private MESI
+//!   L2, each with a NoC router and an L3 shard,
+//! * one **C-tile** (when an eFPGA exists): the Control Hub and Memory Hub
+//!   0 of the [`duet_core::DuetAdapter`],
+//! * `m − 1` **M-tiles**: the remaining Memory Hubs,
+//! * a 2D-mesh NoC carrying coherence + MMIO + interrupts,
+//! * an **OS stub** that services page-fault interrupts from the hubs by
+//!   MMIO TLB refills (or kills the accelerator for unmapped pages) after a
+//!   configurable kernel latency.
+//!
+//! # Example
+//!
+//! ```
+//! use duet_system::{System, SystemConfig};
+//! use duet_cpu::asm::Asm;
+//! use duet_cpu::isa::regs;
+//! use duet_sim::Time;
+//! use std::sync::Arc;
+//!
+//! let mut sys = System::new(SystemConfig::proc_only(1));
+//! let mut a = Asm::new();
+//! a.label("main");
+//! a.li(regs::T[0], 0x1000);
+//! a.li(regs::T[1], 7);
+//! a.sd(regs::T[1], regs::T[0], 0);
+//! a.fence();
+//! a.halt();
+//! sys.load_program(0, Arc::new(a.assemble()?), "main");
+//! sys.run_until_halt(Time::from_us(100));
+//! sys.quiesce(Time::from_us(200));
+//! assert_eq!(sys.peek_u64(0x1000), 7);
+//! # Ok::<(), duet_cpu::asm::AsmError>(())
+//! ```
+
+pub mod config;
+pub mod system;
+
+pub use config::{SystemConfig, Variant};
+pub use system::{RunStats, System};

@@ -1,0 +1,279 @@
+//! Synchronization primitives written in kernel IR: test-and-set spinlock,
+//! MCS queue lock (used by the paper's PDES baseline, ref. \[35\]), and a
+//! sense-reversing centralized barrier.
+//!
+//! Each emitter inlines the primitive at the current assembly position with
+//! uniquified labels, clobbering only the registers passed in.
+
+use duet_cpu::asm::Asm;
+use duet_cpu::isa::Reg;
+
+/// Emits a test-and-set spinlock acquire with core-id-keyed backoff.
+///
+/// The backoff is essential: in a deterministic simulator (and on real
+/// machines with synchronized clocks), symmetric spin loops phase-lock so
+/// one contender perpetually samples the lock while it is held. Seeding
+/// the backoff period with the hart id breaks the symmetry.
+///
+/// Clobbers `t0`. `lock` holds the lock address.
+pub fn spin_acquire(a: &mut Asm, id: &str, lock: Reg, t0: Reg) {
+    let retry = format!("spin_acq_retry_{id}");
+    let backoff = format!("spin_acq_backoff_{id}");
+    let done = format!("spin_acq_done_{id}");
+    a.label(&retry);
+    a.li(t0, 1);
+    a.amoswap(t0, lock, t0);
+    a.beqz(t0, &done);
+    // Back off for 9 + 8*coreid + (cycle & 31) iterations before retrying.
+    // The cycle-counter term decorrelates retry phases even in a fully
+    // deterministic system; the coreid term breaks exact symmetry.
+    a.rdcycle(t0);
+    a.andi(t0, t0, 31);
+    a.addi(t0, t0, 9);
+    a.label(&backoff);
+    a.addi(t0, t0, -1);
+    a.bnez(t0, &backoff);
+    a.coreid(t0);
+    a.slli(t0, t0, 3);
+    a.bnez(t0, &format!("spin_acq_bk2_{id}"));
+    a.j(&retry);
+    a.label(&format!("spin_acq_bk2_{id}"));
+    a.addi(t0, t0, -1);
+    a.bnez(t0, &format!("spin_acq_bk2_{id}"));
+    a.j(&retry);
+    a.label(&done);
+}
+
+/// Emits a spinlock release (fence + zero store).
+pub fn spin_release(a: &mut Asm, lock: Reg) {
+    a.fence();
+    a.sd(Reg::ZERO, lock, 0);
+    a.fence();
+}
+
+/// Byte offsets within an MCS queue node.
+pub mod mcs_node {
+    /// Pointer to the successor node (0 = none).
+    pub const NEXT: i64 = 0;
+    /// Spin flag (1 = locked, wait).
+    pub const LOCKED: i64 = 8;
+    /// Size of a node, padded to a cacheline to avoid false sharing.
+    pub const SIZE: u64 = 16;
+}
+
+/// Emits an MCS lock acquire (Mellor-Crummey & Scott, the paper's \[35\]).
+///
+/// `lock` holds the address of the tail pointer; `node` holds this core's
+/// queue-node address. Clobbers `t0`, `t1`.
+pub fn mcs_acquire(a: &mut Asm, id: &str, lock: Reg, node: Reg, t0: Reg, t1: Reg) {
+    let spin = format!("mcs_acq_spin_{id}");
+    let done = format!("mcs_acq_done_{id}");
+    // node->next = 0; node->locked = 1 (set before linking).
+    a.sd(Reg::ZERO, node, mcs_node::NEXT);
+    a.li(t0, 1);
+    a.sd(t0, node, mcs_node::LOCKED);
+    a.fence();
+    // pred = swap(tail, node)
+    a.amoswap(t0, lock, node);
+    a.beqz(t0, &done);
+    // pred->next = node; spin on node->locked.
+    a.sd(node, t0, mcs_node::NEXT);
+    a.fence();
+    a.label(&spin);
+    a.ld(t1, node, mcs_node::LOCKED);
+    a.bnez(t1, &spin);
+    a.label(&done);
+}
+
+/// Emits an MCS lock release. Clobbers `t0`, `t1`.
+pub fn mcs_release(a: &mut Asm, id: &str, lock: Reg, node: Reg, t0: Reg, t1: Reg) {
+    let wait = format!("mcs_rel_wait_{id}");
+    let done = format!("mcs_rel_done_{id}");
+    let hand = format!("mcs_rel_hand_{id}");
+    a.fence();
+    a.ld(t0, node, mcs_node::NEXT);
+    a.bnez(t0, &hand);
+    // No known successor: try CAS(tail, node, 0).
+    a.cas(t1, lock, node, Reg::ZERO);
+    a.beq(t1, node, &done);
+    // A successor is linking; wait for it.
+    a.label(&wait);
+    a.ld(t0, node, mcs_node::NEXT);
+    a.beqz(t0, &wait);
+    a.label(&hand);
+    a.sd(Reg::ZERO, t0, mcs_node::LOCKED);
+    a.fence();
+    a.label(&done);
+}
+
+/// Memory layout of a sense-reversing barrier.
+pub mod barrier_mem {
+    /// Arrival counter.
+    pub const COUNT: i64 = 0;
+    /// Global sense flag.
+    pub const SENSE: i64 = 8;
+    /// Size in bytes.
+    pub const SIZE: u64 = 16;
+}
+
+/// Emits a sense-reversing centralized barrier for `n` cores.
+///
+/// `bar` holds the barrier address; `local_sense` is a callee-maintained
+/// register that must start at 0 and is flipped by each crossing. Clobbers
+/// `t0`, `t1`.
+pub fn barrier(a: &mut Asm, id: &str, bar: Reg, local_sense: Reg, n: u64, t0: Reg, t1: Reg) {
+    let spin = format!("barrier_spin_{id}");
+    let done = format!("barrier_done_{id}");
+    // local_sense = !local_sense
+    a.xori(local_sense, local_sense, 1);
+    // arrivals = amoadd(count, 1) + 1
+    a.li(t0, 1);
+    a.amoadd(t0, bar, t0);
+    a.addi(t0, t0, 1);
+    a.li(t1, n as i64);
+    a.bne(t0, t1, &spin);
+    // Last arrival: reset the counter, flip the global sense.
+    a.sd(Reg::ZERO, bar, barrier_mem::COUNT);
+    a.fence();
+    a.sd(local_sense, bar, barrier_mem::SENSE);
+    a.fence();
+    a.j(&done);
+    a.label(&spin);
+    a.ld(t1, bar, barrier_mem::SENSE);
+    a.bne(t1, local_sense, &spin);
+    a.label(&done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_cpu::isa::regs;
+    use duet_sim::Time;
+    use duet_system::{System, SystemConfig};
+    use std::sync::Arc;
+
+    /// N cores increment a shared counter K times each under a lock; the
+    /// result must be exact.
+    fn locked_counter_program(kind: &str, n_iters: i64) -> Arc<duet_cpu::Program> {
+        let lock_addr = 0x8000i64;
+        let counter_addr = 0x8100i64;
+        let nodes_base = 0x8200i64;
+        let mut a = Asm::new();
+        a.label("main");
+        let lock = regs::S[0];
+        let node = regs::S[1];
+        let counter = regs::S[2];
+        let i = regs::S[3];
+        a.li(lock, lock_addr);
+        a.li(counter, counter_addr);
+        // node = nodes_base + coreid * 64 (cacheline-spaced)
+        a.coreid(regs::T[0]);
+        a.slli(regs::T[0], regs::T[0], 6);
+        a.li(node, nodes_base);
+        a.add(node, node, regs::T[0]);
+        a.li(i, 0);
+        a.label("loop");
+        match kind {
+            "spin" => spin_acquire(&mut a, "l", lock, regs::T[0]),
+            _ => mcs_acquire(&mut a, "l", lock, node, regs::T[0], regs::T[1]),
+        }
+        a.ld(regs::T[2], counter, 0);
+        a.addi(regs::T[2], regs::T[2], 1);
+        a.sd(regs::T[2], counter, 0);
+        match kind {
+            "spin" => spin_release(&mut a, lock),
+            _ => mcs_release(&mut a, "l", lock, node, regs::T[0], regs::T[1]),
+        }
+        a.addi(i, i, 1);
+        a.li(regs::T[3], n_iters);
+        a.blt(i, regs::T[3], "loop");
+        a.halt();
+        Arc::new(a.assemble().unwrap())
+    }
+
+    fn run_counter(kind: &str, cores: usize, iters: i64) -> u64 {
+        let mut sys = System::new(SystemConfig::proc_only(cores));
+        let prog = locked_counter_program(kind, iters);
+        for c in 0..cores {
+            sys.load_program(c, prog.clone(), "main");
+        }
+        sys.run_until_halt(Time::from_us(20_000));
+        sys.quiesce(Time::from_us(21_000));
+        sys.peek_u64(0x8100)
+    }
+
+    #[test]
+    fn spinlock_mutual_exclusion() {
+        assert_eq!(run_counter("spin", 3, 20), 60);
+    }
+
+    #[test]
+    fn mcs_mutual_exclusion() {
+        assert_eq!(run_counter("mcs", 3, 20), 60);
+    }
+
+    #[test]
+    fn mcs_single_core_fast_path() {
+        assert_eq!(run_counter("mcs", 1, 10), 10);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        // Each core writes its id in phase 1, then in phase 2 sums all
+        // phase-1 values. Without the barrier some cores would read zeros.
+        let cores = 4u64;
+        let bar_addr = 0x8800i64;
+        let slots = 0x8900i64;
+        let out = 0x8A00i64;
+        let mut a = Asm::new();
+        a.label("main");
+        let bar = regs::S[0];
+        let sense = regs::S[1];
+        a.li(bar, bar_addr);
+        a.li(sense, 0);
+        a.coreid(regs::T[2]);
+        // slots[coreid] = coreid + 1
+        a.slli(regs::T[3], regs::T[2], 3);
+        a.li(regs::T[4], slots);
+        a.add(regs::T[4], regs::T[4], regs::T[3]);
+        a.addi(regs::T[5], regs::T[2], 1);
+        a.sd(regs::T[5], regs::T[4], 0);
+        a.fence();
+        barrier(&mut a, "b1", bar, sense, cores, regs::T[0], regs::T[1]);
+        // sum all slots
+        a.li(regs::T[4], slots);
+        a.li(regs::T[5], 0);
+        a.li(regs::T[6], 0);
+        a.label("sum");
+        a.ld(regs::T[3], regs::T[4], 0);
+        a.add(regs::T[5], regs::T[5], regs::T[3]);
+        a.addi(regs::T[4], regs::T[4], 8);
+        a.addi(regs::T[6], regs::T[6], 1);
+        a.li(regs::T[3], cores as i64);
+        a.blt(regs::T[6], regs::T[3], "sum");
+        // out[coreid] = sum
+        a.coreid(regs::T[2]);
+        a.slli(regs::T[3], regs::T[2], 3);
+        a.li(regs::T[4], out);
+        a.add(regs::T[4], regs::T[4], regs::T[3]);
+        a.sd(regs::T[5], regs::T[4], 0);
+        a.fence();
+        a.halt();
+        let prog = Arc::new(a.assemble().unwrap());
+        let mut sys = System::new(SystemConfig::proc_only(cores as usize));
+        for c in 0..cores as usize {
+            sys.load_program(c, prog.clone(), "main");
+        }
+        sys.run_until_halt(Time::from_us(20_000));
+        sys.quiesce(Time::from_us(21_000));
+        let expect = (1..=cores).sum::<u64>();
+        for c in 0..cores {
+            assert_eq!(
+                sys.peek_u64((out as u64) + c * 8),
+                expect,
+                "core {c} saw a partial phase-1 state"
+            );
+        }
+    }
+}
+

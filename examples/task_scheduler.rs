@@ -1,0 +1,42 @@
+//! Hardware augmentation showcase (Sec. III-B): an eFPGA-emulated task
+//! scheduler driving a parallel discrete-event simulation of a digital
+//! circuit, versus the MCS/spin-locked software event queue.
+//!
+//! Run: `cargo run --release -p duet-examples --bin task_scheduler`
+
+use duet_workloads::common::BenchVariant;
+use duet_workloads::pdes::{self, Circuit};
+
+fn main() {
+    let (width, layers) = (8u32, 5u32);
+    let c = Circuit::generate(width, layers, 99);
+    let out = c.eval_ref();
+    println!(
+        "circuit: {width} gates/layer x {layers} layers ({} gates incl. primary inputs)",
+        c.total_gates()
+    );
+    println!(
+        "final layer outputs: {:?}",
+        &out[(layers * width) as usize..]
+    );
+
+    println!("\nconservative PDES on 4 workers:");
+    let base = pdes::run(BenchVariant::ProcOnly, 4, width, layers, 99);
+    println!(
+        "  locked software queue : {:>10}   correct={}",
+        base.runtime, base.correct
+    );
+    let duet = pdes::run(BenchVariant::Duet, 4, width, layers, 99);
+    println!(
+        "  hardware scheduler    : {:>10}   correct={}   speedup {:.2}x",
+        duet.runtime,
+        duet.correct,
+        duet.speedup_over(&base)
+    );
+    println!(
+        "\nthe widget is application-agnostic: processors push event pointers\n\
+         into an FPGA-bound FIFO; the scheduler fetches records through its\n\
+         Memory Hub, orders them, and releases ready events through a token\n\
+         FIFO (the non-blocking try_join of Sec. II-F)."
+    );
+}

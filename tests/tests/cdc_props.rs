@@ -1,0 +1,88 @@
+//! Property-based tests of the clock-domain-crossing model — the mechanism
+//! every Duet latency result rests on.
+
+use duet_sim::{AsyncFifo, Clock, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An entry is never visible before the `sync_stages`-th consumer edge
+    /// strictly after its push, and becomes visible exactly there.
+    #[test]
+    fn synchronizer_delay_is_exact(
+        prod_mhz in 20.0f64..1000.0,
+        cons_mhz in 20.0f64..1000.0,
+        stages in 1u32..4,
+        push_edge in 1u64..50,
+    ) {
+        let prod = Clock::from_mhz(prod_mhz);
+        let cons = Clock::from_mhz(cons_mhz);
+        let mut f: AsyncFifo<u32> = AsyncFifo::new(8, stages, prod, cons);
+        let t_push = Time::from_ps(prod.period().as_ps() * push_edge);
+        f.push(t_push, 7).unwrap();
+        let visible = cons.nth_edge_after(t_push, stages);
+        let just_before = Time::from_ps(visible.as_ps() - 1);
+        prop_assert!(f.front(just_before).is_none(), "visible too early");
+        prop_assert!(f.front(visible).is_some(), "not visible at the edge");
+    }
+
+    /// FIFO order is preserved for any interleaving of pushes and pops.
+    #[test]
+    fn order_preserved_under_random_polling(
+        prod_mhz in 50.0f64..1000.0,
+        cons_mhz in 50.0f64..1000.0,
+        n in 1usize..40,
+        poll_step in 100u64..5000,
+    ) {
+        let prod = Clock::from_mhz(prod_mhz);
+        let cons = Clock::from_mhz(cons_mhz);
+        let mut f: AsyncFifo<usize> = AsyncFifo::new(64, 2, prod, cons);
+        let mut t = prod.first_edge();
+        for i in 0..n {
+            f.push(t, i).unwrap();
+            t = prod.next_edge_after(t);
+        }
+        let mut out = Vec::new();
+        let mut poll = Time::ZERO;
+        let mut guard = 0;
+        while out.len() < n {
+            poll = poll + Time::from_ps(poll_step);
+            while let Some(v) = f.pop(poll) {
+                out.push(v);
+            }
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "items never delivered");
+        }
+        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Capacity is never exceeded, and the producer eventually sees freed
+    /// space after pops (bounded by the backpressure synchronizer).
+    #[test]
+    fn producer_occupancy_bounds(
+        cap in 1usize..8,
+        ops in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let prod = Clock::ghz1();
+        let cons = Clock::from_mhz(100.0);
+        let mut f: AsyncFifo<u8> = AsyncFifo::new(cap, 2, prod, cons);
+        let mut t = Time::ZERO;
+        let mut pushed = 0u32;
+        let mut popped = 0u32;
+        for &do_push in &ops {
+            t = t + Time::from_ps(1500);
+            if do_push {
+                if f.can_push(t) {
+                    f.push(t, 0).unwrap();
+                    pushed += 1;
+                }
+                prop_assert!(f.producer_occupancy(t) <= cap);
+            } else if f.pop(t).is_some() {
+                popped += 1;
+            }
+            prop_assert!(popped <= pushed);
+            prop_assert!(f.len() as u32 == pushed - popped);
+        }
+    }
+}
