@@ -8,25 +8,26 @@
 //! 3. **Kernel page-fault latency** — how OS handling cost affects a
 //!    TLB-enabled accelerator's first-touch penalty.
 //!
-//! Run: `cargo run --release -p duet-bench --bin ablation`
+//! Run: `cargo run --release -p duet-bench --bin ablation [--threads N]`
 
+use duet_bench::{parallel_map, Throughput};
 use duet_sim::{AsyncFifo, Clock, Time};
-use duet_workloads::synthetic::{measure_bandwidth, Mechanism};
+use duet_workloads::synthetic::{measure_bandwidth, measure_latency, Mechanism};
 
 fn main() {
+    let tp = Throughput::start();
     mshr_sweep();
     sync_stage_sweep();
+    tp.report("ablation");
 }
 
 /// Bandwidth vs Proxy-Cache MSHRs (in-flight request bound).
 fn mshr_sweep() {
     println!("# Ablation 1: eFPGA-pull bandwidth vs Proxy Cache MSHRs (100 MHz eFPGA)");
     println!("{:<8} {:>12}", "mshrs", "MB/s");
-    for mshrs in [1usize, 2, 4, 8, 16] {
-        // measure_bandwidth builds its own system; vary via a scoped
-        // override of the config — reproduce its protocol with a custom
-        // config by re-using the public API.
-        let bw = bandwidth_with_mshrs(mshrs);
+    let counts = vec![1usize, 2, 4, 8, 16];
+    let bws = parallel_map(counts.clone(), bandwidth_with_mshrs);
+    for (mshrs, bw) in counts.iter().zip(&bws) {
         println!("{:<8} {:>12.0}", mshrs, bw);
     }
     println!();
@@ -87,10 +88,19 @@ fn sync_stage_sweep() {
     }
     println!();
     println!("# Ablation 3: shadow-vs-normal register latency gap by clock");
-    println!("{:<8} {:>12} {:>12} {:>8}", "MHz", "normal ns", "shadow ns", "gap");
-    for mhz in [20.0, 100.0, 500.0] {
-        let n = duet_workloads::synthetic::measure_latency(Mechanism::NormalReg, mhz);
-        let s = duet_workloads::synthetic::measure_latency(Mechanism::ShadowReg, mhz);
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}",
+        "MHz", "normal ns", "shadow ns", "gap"
+    );
+    let mhzs = vec![20.0f64, 100.0, 500.0];
+    // Two independent simulations per clock point.
+    let points = parallel_map(mhzs.clone(), |mhz| {
+        (
+            measure_latency(Mechanism::NormalReg, mhz),
+            measure_latency(Mechanism::ShadowReg, mhz),
+        )
+    });
+    for (mhz, (n, s)) in mhzs.iter().zip(&points) {
         println!(
             "{:<8.0} {:>12.1} {:>12.1} {:>7.1}x",
             mhz,

@@ -2,20 +2,29 @@
 //! number of contending processors (eFPGA fixed at 500 MHz), shadow vs
 //! normal registers.
 //!
-//! Run: `cargo run --release -p duet-bench --bin fig11`
+//! Run: `cargo run --release -p duet-bench --bin fig11 [--threads N]`
 
+use duet_bench::{parallel_map, Throughput};
 use duet_workloads::synthetic::measure_contention;
 
 fn main() {
+    let tp = Throughput::start();
     let procs = [1usize, 2, 4, 8, 16];
     let pairs = 64;
+    // 5 processor counts x {shadow, normal} = 10 independent simulations.
+    let cells: Vec<(bool, usize)> = procs
+        .iter()
+        .flat_map(|&p| [(true, p), (false, p)])
+        .collect();
+    let points = parallel_map(cells, |(shadow, p)| measure_contention(shadow, p, pairs));
+
     println!("# Fig. 11: per-processor bandwidth (MB/s) vs contending processors");
     println!("# eFPGA at 500 MHz; each processor issues write/read pairs to one register");
     println!("{:<10} {:>14} {:>14}", "procs", "shadow", "normal");
     let mut rows = Vec::new();
-    for &p in &procs {
-        let s = measure_contention(true, p, pairs);
-        let n = measure_contention(false, p, pairs);
+    for (k, &p) in procs.iter().enumerate() {
+        let s = &points[2 * k];
+        let n = &points[2 * k + 1];
         println!(
             "{:<10} {:>14.1} {:>14.1}",
             p, s.per_proc_mbps, n.per_proc_mbps
@@ -38,4 +47,5 @@ fn main() {
         knee(|r| r.1, &rows),
         knee(|r| r.2, &rows)
     );
+    tp.report("fig11");
 }

@@ -2,13 +2,86 @@
 //! the seven application benchmarks on Duet and on the FPSoC-like
 //! baseline, relative to the processor-only baseline.
 //!
-//! Run: `cargo run --release -p duet-bench --bin fig12`
-//! (Takes several minutes: 13 configurations × 3 full-system simulations.)
+//! Run: `cargo run --release -p duet-bench --bin fig12 [--threads N]`
+//! (13 configurations × 3 full-system simulations, fanned across cores.)
 
+use duet_bench::{parallel_map, Throughput};
 use duet_fpga::area::{base_tile_area_mm2, normalized_adp, AreaModel};
-use duet_fpga::fabric::FabricSpec;
+use duet_fpga::fabric::{FabricSpec, NetlistSummary};
+use duet_fpga::ports::SoftAccelerator;
 use duet_workloads::common::{AppResult, BenchVariant};
 use duet_workloads::{barnes_hut, bfs, dijkstra, pdes, popcount, sort, tangent};
+
+/// One Fig. 12 configuration; `run` builds its whole system (including
+/// any `Rc`-based accelerator state) inside the calling worker thread.
+#[derive(Clone, Copy)]
+enum App {
+    Tangent,
+    Popcount,
+    Sort(u64),
+    Dijkstra,
+    BarnesHut,
+    Pdes(usize),
+    Bfs(usize),
+}
+
+impl App {
+    const ALL: [App; 13] = [
+        App::Tangent,
+        App::Popcount,
+        App::Sort(32),
+        App::Sort(64),
+        App::Sort(128),
+        App::Dijkstra,
+        App::BarnesHut,
+        App::Pdes(4),
+        App::Pdes(8),
+        App::Pdes(16),
+        App::Bfs(4),
+        App::Bfs(8),
+        App::Bfs(16),
+    ];
+
+    fn name(&self) -> String {
+        match self {
+            App::Tangent => "tangent".into(),
+            App::Popcount => "popcount".into(),
+            App::Sort(n) => format!("sort/{n}"),
+            App::Dijkstra => "dijkstra".into(),
+            App::BarnesHut => "barnes-hut".into(),
+            App::Pdes(p) => format!("pdes/{p}"),
+            App::Bfs(p) => format!("bfs/{p}"),
+        }
+    }
+
+    fn run(&self, v: BenchVariant) -> AppResult {
+        match *self {
+            App::Tangent => tangent::run(v, 96, 11),
+            App::Popcount => popcount::run(v, 48, 21),
+            // The paper's sorted arrays are network-sized (128-512 B): one
+            // streaming pass, merged externally only in larger deployments.
+            App::Sort(n) => sort::run(v, n, n, 31),
+            App::Dijkstra => dijkstra::run(v, 192, 8, 41),
+            App::BarnesHut => barnes_hut::run(v, 4, 48, 51),
+            App::Pdes(p) => pdes::run(v, p, 12, 6, 61),
+            App::Bfs(p) => bfs::run(v, p, 192, 4, 71),
+        }
+    }
+
+    fn netlist(&self) -> NetlistSummary {
+        match *self {
+            App::Tangent => tangent::TangentAccel::new(true).netlist(),
+            App::Popcount => popcount::PopcountAccel::new(true).netlist(),
+            App::Sort(n) => sort::SortAccel::new(true, n).netlist(),
+            App::Dijkstra => {
+                dijkstra::DijkstraAccel::new(true, true, dijkstra::DijkstraLayout::new()).netlist()
+            }
+            App::BarnesHut => barnes_hut::BhAccel::new(true, 4, 0, 0).netlist(),
+            App::Pdes(p) => pdes::TaskScheduler::new(true, p, &[]).netlist(),
+            App::Bfs(p) => bfs::FrontierQueues::new(true, p, 0).netlist(),
+        }
+    }
+}
 
 struct Row {
     name: String,
@@ -18,116 +91,55 @@ struct Row {
     fpsoc: AppResult,
 }
 
-fn fabric_area(netlist: &duet_fpga::fabric::NetlistSummary) -> f64 {
-    FabricSpec::k6_frac_n10_mem32k().implement(netlist).area_mm2
-}
-
 fn main() {
-    let mut rows: Vec<Row> = Vec::new();
-    let run3 = |f: &dyn Fn(BenchVariant) -> AppResult| {
-        (
-            f(BenchVariant::ProcOnly),
-            f(BenchVariant::Duet),
-            f(BenchVariant::Fpsoc),
-        )
-    };
-
-    eprintln!("[fig12] tangent (P1M0)...");
-    let (b, d, f) = run3(&|v| tangent::run(v, 96, 11));
-    rows.push(Row {
-        name: "tangent".into(),
-        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
-            &tangent::TangentAccel::new(true),
-        )),
-        base: b,
-        duet: d,
-        fpsoc: f,
+    let tp = Throughput::start();
+    const VARIANTS: [BenchVariant; 3] = [
+        BenchVariant::ProcOnly,
+        BenchVariant::Duet,
+        BenchVariant::Fpsoc,
+    ];
+    // 13 x 3 = 39 independent full-system simulations.
+    let jobs: Vec<(App, BenchVariant)> = App::ALL
+        .into_iter()
+        .flat_map(|a| VARIANTS.into_iter().map(move |v| (a, v)))
+        .collect();
+    eprintln!(
+        "[fig12] running {} simulations on {} thread(s)...",
+        jobs.len(),
+        duet_bench::configured_threads()
+    );
+    let results = parallel_map(jobs, |(a, v)| {
+        eprintln!("[fig12] {} ({:?})...", a.name(), v);
+        a.run(v)
     });
 
-    eprintln!("[fig12] popcount (P1M1)...");
-    let (b, d, f) = run3(&|v| popcount::run(v, 48, 21));
-    rows.push(Row {
-        name: "popcount".into(),
-        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
-            &popcount::PopcountAccel::new(true),
-        )),
-        base: b,
-        duet: d,
-        fpsoc: f,
-    });
-
-    for slice in [32u64, 64, 128] {
-        eprintln!("[fig12] sort/{slice} (P1M2)...");
-        // The paper's sorted arrays are network-sized (128-512 B): one
-        // streaming pass, merged externally only in larger deployments.
-        let (b, d, f) = run3(&|v| sort::run(v, slice, slice, 31));
-        rows.push(Row {
-            name: format!("sort/{slice}"),
-            fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
-                &sort::SortAccel::new(true, slice),
-            )),
-            base: b,
-            duet: d,
-            fpsoc: f,
-        });
-    }
-
-    eprintln!("[fig12] dijkstra (P1M1)...");
-    let (b, d, f) = run3(&|v| dijkstra::run(v, 192, 8, 41));
-    rows.push(Row {
-        name: "dijkstra".into(),
-        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
-            &dijkstra::DijkstraAccel::new(true, true, dijkstra::DijkstraLayout::new()),
-        )),
-        base: b,
-        duet: d,
-        fpsoc: f,
-    });
-
-    eprintln!("[fig12] barnes-hut (P4M1)...");
-    let (b, d, f) = run3(&|v| barnes_hut::run(v, 4, 48, 51));
-    rows.push(Row {
-        name: "barnes-hut".into(),
-        fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
-            &barnes_hut::BhAccel::new(true, 4, 0, 0),
-        )),
-        base: b,
-        duet: d,
-        fpsoc: f,
-    });
-
-    for p in [4usize, 8, 16] {
-        eprintln!("[fig12] pdes/{p} (P{p}M1)...");
-        let (b, d, f) = run3(&|v| pdes::run(v, p, 12, 6, 61));
-        rows.push(Row {
-            name: format!("pdes/{p}"),
-            fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
-                &pdes::TaskScheduler::new(true, p, &[]),
-            )),
-            base: b,
-            duet: d,
-            fpsoc: f,
-        });
-    }
-
-    for p in [4usize, 8, 16] {
-        eprintln!("[fig12] bfs/{p} (P{p}M0)...");
-        let (b, d, f) = run3(&|v| bfs::run(v, p, 192, 4, 71));
-        rows.push(Row {
-            name: format!("bfs/{p}"),
-            fabric_mm2: fabric_area(&duet_fpga::ports::SoftAccelerator::netlist(
-                &bfs::FrontierQueues::new(true, p, 0),
-            )),
-            base: b,
-            duet: d,
-            fpsoc: f,
-        });
-    }
+    let rows: Vec<Row> = App::ALL
+        .iter()
+        .enumerate()
+        .map(|(k, a)| Row {
+            name: a.name(),
+            fabric_mm2: FabricSpec::k6_frac_n10_mem32k()
+                .implement(&a.netlist())
+                .area_mm2,
+            base: results[3 * k].clone(),
+            duet: results[3 * k + 1].clone(),
+            fpsoc: results[3 * k + 2].clone(),
+        })
+        .collect();
 
     println!("# Fig. 12: normalized speedup and ADP (baseline = processor-only = 1.0)");
     println!(
         "{:<12} {:>5} {:>11} {:>11} {:>11} | {:>9} {:>9} | {:>9} {:>9} | {:>3}",
-        "benchmark", "P", "base us", "duet us", "fpsoc us", "spd duet", "spd fpsoc", "adp duet", "adp fpsoc", "ok"
+        "benchmark",
+        "P",
+        "base us",
+        "duet us",
+        "fpsoc us",
+        "spd duet",
+        "spd fpsoc",
+        "adp duet",
+        "adp fpsoc",
+        "ok"
     );
     let mut geo_duet = 1.0f64;
     let mut geo_fpsoc = 1.0f64;
@@ -189,4 +201,5 @@ fn main() {
         "# normalization tile: {:.2} mm2 (Ariane + P-Mesh socket)",
         base_tile_area_mm2()
     );
+    tp.report("fig12");
 }

@@ -3,12 +3,29 @@
 //! fast-domain cache, slow-domain cache, and CDC time, across eFPGA clock
 //! frequencies, for all six mechanisms.
 //!
-//! Run: `cargo run --release -p duet-bench --bin fig9`
+//! Run: `cargo run --release -p duet-bench --bin fig9 [--threads N]`
 
+use duet_bench::{parallel_map, Throughput};
 use duet_workloads::synthetic::{measure_latency, Mechanism};
 
 fn main() {
+    let tp = Throughput::start();
     let freqs = [20.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0];
+    // Every (mechanism, frequency) cell is an independent simulation; fan
+    // them out and reassemble in deterministic (input) order.
+    let cells: Vec<(Mechanism, f64)> = Mechanism::ALL
+        .into_iter()
+        .flat_map(|m| freqs.into_iter().map(move |f| (m, f)))
+        .collect();
+    let points = parallel_map(cells.clone(), |(m, f)| measure_latency(m, f));
+    let lookup = |m: Mechanism, f: f64| {
+        let i = cells
+            .iter()
+            .position(|&(cm, cf)| cm == m && cf == f)
+            .expect("cell swept");
+        &points[i]
+    };
+
     println!("# Fig. 9: CPU-eFPGA round-trip latency (ns), system clock 1 GHz");
     println!(
         "{:<24} {:>8} {:>10} {:>8} {:>9} {:>9} {:>8}",
@@ -16,7 +33,7 @@ fn main() {
     );
     for m in Mechanism::ALL {
         for &f in &freqs {
-            let p = measure_latency(m, f);
+            let p = lookup(m, f);
             println!(
                 "{:<24} {:>8.0} {:>10.1} {:>8.1} {:>9.1} {:>9.1} {:>8.1}",
                 m.label(),
@@ -31,10 +48,10 @@ fn main() {
         println!();
     }
 
-    // Paper headline numbers for comparison.
+    // Paper headline numbers for comparison (reuses the swept cells).
     let reduction = |slow: Mechanism, fast: Mechanism, mhz: f64| {
-        let s = measure_latency(slow, mhz).total.as_ps() as f64;
-        let p = measure_latency(fast, mhz).total.as_ps() as f64;
+        let s = lookup(slow, mhz).total.as_ps() as f64;
+        let p = lookup(fast, mhz).total.as_ps() as f64;
         100.0 * (1.0 - p / s)
     };
     println!("# Headline reductions (paper: eFPGA pull 13-43%, CPU pull 42-82%, shadow 50-80%)");
@@ -46,4 +63,5 @@ fn main() {
             reduction(Mechanism::NormalReg, Mechanism::ShadowReg, mhz),
         );
     }
+    tp.report("fig9");
 }

@@ -4,9 +4,11 @@
 //!
 //! Run: `cargo run --release -p duet-bench --bin table1`
 
+use duet_bench::Throughput;
 use duet_fpga::area::{base_tile_area_mm2, table1, AreaModel};
 
 fn main() {
+    let tp = Throughput::start();
     println!("# Table I: Area and Typical Frequency of Dolly Components");
     println!(
         "{:<26} {:<26} {:>10} {:>10} {:>12} {:>12}",
@@ -42,4 +44,5 @@ fn main() {
         "# = {:.1}% of a processor tile — the \"negligible hardware overhead\" claim",
         100.0 * adapter / m.processor_only_mm2()
     );
+    tp.report("table1");
 }

@@ -1,1 +1,138 @@
-//! Shared helpers for the benchmark harness binaries.
+//! Shared helpers for the benchmark harness binaries: a dependency-free
+//! parallel sweep runner and wall-clock throughput reporting.
+//!
+//! Every figure/table harness runs many *independent* simulations (one per
+//! (configuration, variant) cell). [`parallel_map`] fans them out across a
+//! scoped thread pool — results come back in input order, so the printed
+//! tables are byte-identical to a sequential run — and each binary ends
+//! with a `throughput:` line giving edges/sec and simulated-ns/sec.
+//!
+//! Thread count: `--threads N` on the command line, else the
+//! `DUET_BENCH_THREADS` environment variable, else all available cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The worker-thread count for [`parallel_map`]: `--threads N` (or
+/// `--threads=N`) from the command line, else `DUET_BENCH_THREADS`, else
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn configured_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("DUET_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on a scoped thread pool and returns the
+/// results **in input order**. Simulations whose guts are `!Send`
+/// (`Rc<RefCell<..>>` accelerators) are fine: each is built and torn down
+/// entirely inside one worker. With one configured thread this degrades to
+/// a plain sequential map.
+pub fn parallel_map<T, R>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    let threads = configured_threads().min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i].lock().unwrap().take().expect("job claimed once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled its slot"))
+        .collect()
+}
+
+/// Measures wall time and simulation-throughput counters across a
+/// harness's working section; [`Throughput::report`] prints the standard
+/// `throughput:` line.
+pub struct Throughput {
+    start: Instant,
+    edges0: u64,
+    sim_ps0: u64,
+}
+
+impl Default for Throughput {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Throughput {
+    /// Starts the clock and snapshots the process-wide counters.
+    pub fn start() -> Self {
+        let (edges0, sim_ps0) = duet_system::metrics::snapshot();
+        Throughput {
+            start: Instant::now(),
+            edges0,
+            sim_ps0,
+        }
+    }
+
+    /// Prints `# <label> throughput: X edges/sec, Y simulated-ns/sec
+    /// (wall Zs, T threads)` from the counter deltas since `start`.
+    pub fn report(&self, label: &str) {
+        let wall = self.start.elapsed();
+        let (edges, sim_ps) = duet_system::metrics::snapshot();
+        let line = duet_system::metrics::throughput_line(
+            edges.saturating_sub(self.edges0),
+            sim_ps.saturating_sub(self.sim_ps0),
+            wall,
+        );
+        println!(
+            "# {label} {line} (wall {:.3}s, {} threads)",
+            wall.as_secs_f64(),
+            configured_threads()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(items.clone(), |x| x * 3 + 1);
+        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(vec![7u8], |x| x + 1), vec![8]);
+    }
+}

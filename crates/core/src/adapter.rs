@@ -254,9 +254,49 @@ impl DuetAdapter {
         self.control.is_idle() && self.hubs.iter().all(|h| h.is_idle())
     }
 
+    /// The earliest time the fast-edge adapter path
+    /// ([`tick_parts`](DuetAdapter::tick_parts) +
+    /// [`pop_outgoing`](DuetAdapter::pop_outgoing)) can next do observable
+    /// work, or `None` when the adapter can only be woken externally.
+    ///
+    /// With `include_hubs` false (FPSoC-style slow-domain hubs), hub queues
+    /// are excluded — they tick on slow edges — but queued hub interrupts
+    /// still count: they are drained on the fast side, and a freshly raised
+    /// hub exception must reach the next fast edge so sibling-hub
+    /// deactivation happens on the same edge as with per-edge ticking.
+    pub fn next_event_time(&self, now: Time, include_hubs: bool) -> Option<Time> {
+        let mut earliest = self.control.next_event_time(now);
+        for h in &self.hubs {
+            if include_hubs {
+                if let Some(t) = h.next_event_time(now) {
+                    earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
+                }
+            } else if h.has_pending_irq() {
+                return Some(now);
+            }
+        }
+        earliest
+    }
+
+    /// Whether the fast-edge adapter path could do anything at `now`.
+    pub fn is_active(&self, now: Time, include_hubs: bool) -> bool {
+        self.next_event_time(now, include_hubs)
+            .is_some_and(|t| t <= now)
+    }
+
     /// Takes a pending accelerator-reset pulse.
     pub fn take_reset(&mut self) -> bool {
         self.control.take_reset()
+    }
+
+    /// Whether any input is pending on the fabric side of the adapter's
+    /// CDC FIFOs: register traffic or a reset in the control hub's down
+    /// path, or a memory response awaiting a fabric pop. While this holds,
+    /// eFPGA edges must execute even for an accelerator reporting
+    /// [`is_idle`](duet_fpga::ports::SoftAccelerator::is_idle) — the input
+    /// may wake it.
+    pub fn fabric_input_pending(&self) -> bool {
+        self.control.fabric_input_pending() || self.hubs.iter().any(|h| h.fabric_resp_pending())
     }
 }
 
@@ -309,7 +349,8 @@ mod tests {
         assert!(a.owns_addr(0x4000_0FFF));
         assert!(!a.owns_addr(0x4000_1000));
         // Hub 1 switches write + readback.
-        let sw_addr = 0x4000_0000 + mmio_map::HUB_BASE + mmio_map::HUB_STRIDE + mmio_map::HUB_SWITCHES;
+        let sw_addr =
+            0x4000_0000 + mmio_map::HUB_BASE + mmio_map::HUB_STRIDE + mmio_map::HUB_SWITCHES;
         let (_, _) = mmio_until_resp(&mut a, MemReq::store(1, sw_addr, Width::B8, 0b1111), 1);
         let (_, v) = mmio_until_resp(&mut a, MemReq::load(2, sw_addr, Width::B8), 50);
         assert_eq!(v, 0b1111);
@@ -320,9 +361,17 @@ mod tests {
     fn tlb_refill_via_mmio() {
         let mut a = adapter();
         let base = 0x4000_0000 + mmio_map::HUB_BASE;
-        mmio_until_resp(&mut a, MemReq::store(1, base + mmio_map::HUB_TLB_VPN, Width::B8, 0x5), 1);
+        mmio_until_resp(
+            &mut a,
+            MemReq::store(1, base + mmio_map::HUB_TLB_VPN, Width::B8, 0x5),
+            1,
+        );
         let ppn_perms = 0x9u64 | (1 << 62) | (1 << 63);
-        mmio_until_resp(&mut a, MemReq::store(2, base + mmio_map::HUB_TLB_PPN, Width::B8, ppn_perms), 40);
+        mmio_until_resp(
+            &mut a,
+            MemReq::store(2, base + mmio_map::HUB_TLB_PPN, Width::B8, ppn_perms),
+            40,
+        );
         // The hub's TLB now translates 0x5xxx -> 0x9xxx: verified via the
         // hub directly.
         let mut sw = a.hubs[0].switches();
@@ -383,7 +432,8 @@ mod tests {
     #[test]
     fn fabric_ports_expose_all_hubs_and_regs() {
         let mut a = adapter();
-        a.control.set_reg_mode(0, crate::control_hub::RegMode::CpuBound);
+        a.control
+            .set_reg_mode(0, crate::control_hub::RegMode::CpuBound);
         let now = t(100);
         {
             let mut ports = a.fabric_ports(now);
@@ -462,12 +512,18 @@ mod tests {
         // The headline of Fig. 6: shadow-register writes ack from the fast
         // domain; normal writes round-trip into the slow fabric.
         let mut a = adapter();
-        a.control.set_reg_mode(0, crate::control_hub::RegMode::FpgaBound);
-        a.control.set_reg_mode(1, crate::control_hub::RegMode::Normal);
+        a.control
+            .set_reg_mode(0, crate::control_hub::RegMode::FpgaBound);
+        a.control
+            .set_reg_mode(1, crate::control_hub::RegMode::Normal);
         let base = 0x4000_0000;
         let (shadow_done, _) = mmio_until_resp(&mut a, MemReq::store(1, base, Width::B8, 1), 1);
         // Normal write: we must emulate the fabric answering.
-        a.mmio_request(t(shadow_done + 1), MemReq::store(2, base + 8, Width::B8, 1), 0);
+        a.mmio_request(
+            t(shadow_done + 1),
+            MemReq::store(2, base + 8, Width::B8, 1),
+            0,
+        );
         let mut normal_done = 0;
         'outer: for c in shadow_done + 1..shadow_done + 3000 {
             a.tick(t(c));

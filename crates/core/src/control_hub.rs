@@ -380,6 +380,14 @@ impl ControlHub {
         }
     }
 
+    /// Whether fabric-bound input awaits the slow domain: occupancy in the
+    /// FPGA-bound down FIFO (its consumer pops on eFPGA edges, so it is
+    /// *not* part of [`next_event_time`](ControlHub::next_event_time)'s
+    /// fast-side contract) or an undelivered reset pulse.
+    pub fn fabric_input_pending(&self) -> bool {
+        !self.down.is_empty() || self.reset_pulse
+    }
+
     /// Whether all queues are drained.
     pub fn is_idle(&self) -> bool {
         self.mmio_in.is_empty()
@@ -387,6 +395,56 @@ impl ControlHub {
             && self.out.is_empty()
             && self.down.is_empty()
             && self.up.is_empty()
+    }
+
+    /// The earliest time ticking or draining this hub can next do observable
+    /// work, or `None` when it can only be woken externally (MMIO arrival or
+    /// a fabric push).
+    ///
+    /// Mirrors [`tick`](ControlHub::tick): queued MMIO accesses, pending
+    /// interrupts, and software-requested clock/reset changes act
+    /// immediately; fabric events act when they clear the up-synchronizer;
+    /// responses leave when their ready time passes; a head-of-line blocked
+    /// access either completes now (its result/data has arrived) or times
+    /// out just after `timeout_cycles` fabric-free cycles.
+    pub fn next_event_time(&self, now: Time) -> Option<Time> {
+        if !self.mmio_in.is_empty()
+            || !self.irqs.is_empty()
+            || self.pending_clock_mhz.is_some()
+            || self.reset_pulse
+        {
+            return Some(now);
+        }
+        let mut earliest = self.up.front_ready_at();
+        if let Some(&(t, _, _)) = self.out.front() {
+            earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
+        }
+        if let Some(w) = self.waiting {
+            let deadline = |started: Time| {
+                started + self.cfg.clock.period().mul(self.timeout_cycles) + Time::from_ps(1)
+            };
+            let cand = match w {
+                WaitSt::NormalTxn { txn, started, .. } => {
+                    if self.txn_results.contains_key(&txn) {
+                        now
+                    } else {
+                        deadline(started)
+                    }
+                }
+                WaitSt::CpuBound { reg, started, .. } => {
+                    if !self.cpu_fifo[reg as usize].is_empty() {
+                        now
+                    } else {
+                        deadline(started)
+                    }
+                }
+                // Waiting on down-FIFO space: space visibility depends on
+                // slow-domain pops; treat as hot (rare, short-lived states).
+                WaitSt::DownSpace { .. } | WaitSt::DownSpaceThenTxn { .. } => now,
+            };
+            earliest = Some(earliest.map_or(cand, |e: Time| e.min(cand)));
+        }
+        earliest
     }
 
     fn raise(&mut self, code: u64) {
@@ -501,8 +559,7 @@ impl ControlHub {
     }
 
     fn timed_out(&self, now: Time, started: Time) -> bool {
-        now.saturating_sub(started)
-            > self.cfg.clock.period().mul(self.timeout_cycles)
+        now.saturating_sub(started) > self.cfg.clock.period().mul(self.timeout_cycles)
     }
 
     fn soft_reg_access(&mut self, now: Time, req: MemReq, reply_to: NodeId, is_read: bool) {
@@ -792,7 +849,8 @@ mod tests {
             panic!("expected ReadReq, got {ev:?}")
         };
         assert_eq!(reg, 1);
-        up.push(t(30_000), RegUp::ReadResp { txn, value: 77 }).unwrap();
+        up.push(t(30_000), RegUp::ReadResp { txn, value: 77 })
+            .unwrap();
         let (_, resp) = run_until_resp(&mut h, 31, 50);
         assert_eq!(resp.rdata, 77);
     }
@@ -805,11 +863,15 @@ mod tests {
         for c in 1..10 {
             h.tick(t(c * 1000));
         }
-        assert!(h.pop_outgoing(t(10_000)).is_none(), "read blocks on empty FIFO");
+        assert!(
+            h.pop_outgoing(t(10_000)).is_none(),
+            "read blocks on empty FIFO"
+        );
         // The fabric pushes; the read completes.
         {
             let (_, up) = h.fabric_fifos();
-            up.push(t(10_000), RegUp::Push { reg: 2, value: 123 }).unwrap();
+            up.push(t(10_000), RegUp::Push { reg: 2, value: 123 })
+                .unwrap();
         }
         let (_, resp) = run_until_resp(&mut h, 11, 50);
         assert_eq!(resp.rdata, 123);
@@ -840,8 +902,10 @@ mod tests {
         // Two pushes = two tokens.
         {
             let (_, up) = h.fabric_fifos();
-            up.push(t(30_000), RegUp::Push { reg: 3, value: 0 }).unwrap();
-            up.push(t(31_000), RegUp::Push { reg: 3, value: 0 }).unwrap();
+            up.push(t(30_000), RegUp::Push { reg: 3, value: 0 })
+                .unwrap();
+            up.push(t(31_000), RegUp::Push { reg: 3, value: 0 })
+                .unwrap();
         }
         for (i, expect) in [(1u64, 1u64), (2, 1), (3, 0)] {
             h.mmio_request(MemReq::load(10 + i, 24, Width::B8), 0);
@@ -854,7 +918,10 @@ mod tests {
     fn deactivated_interface_returns_bogus() {
         let mut h = hub();
         h.set_reg_mode(0, RegMode::CpuBound);
-        h.mmio_request(MemReq::store(1, mmio_map::INTERFACE_ACTIVE, Width::B8, 0), 0);
+        h.mmio_request(
+            MemReq::store(1, mmio_map::INTERFACE_ACTIVE, Width::B8, 0),
+            0,
+        );
         let _ = run_until_resp(&mut h, 1, 20);
         // A read that would normally block now returns bogus instantly.
         h.mmio_request(MemReq::load(2, 0, Width::B8), 0);
@@ -896,7 +963,10 @@ mod tests {
     #[test]
     fn clock_change_is_requested_via_mmio() {
         let mut h = hub();
-        h.mmio_request(MemReq::store(1, mmio_map::FPGA_CLOCK_MHZ, Width::B8, 250), 0);
+        h.mmio_request(
+            MemReq::store(1, mmio_map::FPGA_CLOCK_MHZ, Width::B8, 250),
+            0,
+        );
         let _ = run_until_resp(&mut h, 1, 20);
         assert_eq!(h.take_clock_change(), Some(250.0));
         assert_eq!(h.take_clock_change(), None);

@@ -254,6 +254,12 @@ impl MemoryHub {
         self.irqs.pop_front()
     }
 
+    /// Whether an interrupt is queued (drained on the fast side even when
+    /// the hub itself ticks in the slow domain).
+    pub fn has_pending_irq(&self) -> bool {
+        !self.irqs.is_empty()
+    }
+
     /// Reclocks the fabric-side FIFOs after a clock-generator change.
     pub fn set_fpga_clock(&mut self, clock: Clock) {
         self.req_fifo.set_producer_clock(clock);
@@ -262,9 +268,7 @@ impl MemoryHub {
 
     /// Fabric-side request FIFO (for building
     /// [`duet_fpga::ports::FabricPorts`]).
-    pub fn fabric_fifos(
-        &mut self,
-    ) -> (&mut AsyncFifo<FpgaMemReq>, &mut AsyncFifo<FpgaMemResp>) {
+    pub fn fabric_fifos(&mut self) -> (&mut AsyncFifo<FpgaMemReq>, &mut AsyncFifo<FpgaMemResp>) {
         (&mut self.req_fifo, &mut self.resp_fifo)
     }
 
@@ -294,6 +298,13 @@ impl MemoryHub {
         self.proxy.pop_outgoing(now)
     }
 
+    /// Whether responses await the fabric: occupancy in the slow-consumed
+    /// response FIFO (invisible to the fast-side
+    /// [`next_event_time`](MemoryHub::next_event_time) contract).
+    pub fn fabric_resp_pending(&self) -> bool {
+        !self.resp_fifo.is_empty()
+    }
+
     /// Whether all queues are empty (quiesce checks).
     pub fn is_idle(&self) -> bool {
         self.proxy.is_idle()
@@ -302,6 +313,29 @@ impl MemoryHub {
             && self.resp_fifo.is_empty()
             && self.resp_stage.is_empty()
             && self.fault.is_none()
+    }
+
+    /// The earliest time ticking or draining this hub can next do observable
+    /// work, or `None` when it can only be woken externally (a fabric push
+    /// or a NoC message).
+    ///
+    /// A pending fault keeps the hub hot: the retry path probes the TLB
+    /// (updating its replacement state) every tick, which must not be
+    /// elided. Staged responses are hot because backpressure visibility
+    /// depends on slow-domain pops. Accepting new fabric requests is bounded
+    /// by the request FIFO's synchronizer-crossing time, and only matters
+    /// while the hub is switched on.
+    pub fn next_event_time(&self, now: Time) -> Option<Time> {
+        if self.fault.is_some() || !self.resp_stage.is_empty() || !self.irqs.is_empty() {
+            return Some(now);
+        }
+        let mut earliest = self.proxy.next_event_time(now);
+        if self.switches.active {
+            if let Some(t) = self.req_fifo.front_ready_at() {
+                earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
+            }
+        }
+        earliest
     }
 
     fn raise(&mut self, code: u64) {
@@ -399,13 +433,13 @@ impl MemoryHub {
 
         // Accept new fabric requests.
         while self.switches.active && self.proxy.can_accept() {
-            let Some(req) = self.req_fifo.pop(now) else { break };
+            let Some(req) = self.req_fifo.pop(now) else {
+                break;
+            };
             // Exception handler: validation standing in for parity checks.
             let width_ok = match req.op {
                 FpgaMemOp::LoadLine => req.addr % 16 == 0,
-                FpgaMemOp::Store(w) | FpgaMemOp::Amo(_, w) => {
-                    req.addr % (w.bytes() as u64) == 0
-                }
+                FpgaMemOp::Store(w) | FpgaMemOp::Amo(_, w) => req.addr % (w.bytes() as u64) == 0,
             };
             if !width_ok {
                 self.raise(error_codes::BAD_REQUEST);
@@ -579,8 +613,14 @@ mod tests {
         let resp = resp_fifo.pop(t(60_000)).expect("fabric response");
         assert_eq!(resp.id, 7);
         assert!(matches!(resp.kind, FpgaRespKind::LoadAck { data } if data[0] == 9));
-        assert!(resp.breakdown.cdc >= Time::from_ns(2), "request CDC recorded");
-        assert!(resp.breakdown.noc >= Time::from_ns(4), "NoC flight recorded");
+        assert!(
+            resp.breakdown.cdc >= Time::from_ns(2),
+            "request CDC recorded"
+        );
+        assert!(
+            resp.breakdown.noc >= Time::from_ns(4),
+            "NoC flight recorded"
+        );
     }
 
     #[test]
@@ -594,7 +634,9 @@ mod tests {
         h.tick(t(12_000));
         assert_eq!(h.error_code(), error_codes::BAD_REQUEST);
         assert!(!h.switches().active);
-        assert!(matches!(h.pop_irq(), Some(IrqCause::Exception { code }) if code == error_codes::BAD_REQUEST));
+        assert!(
+            matches!(h.pop_irq(), Some(IrqCause::Exception { code }) if code == error_codes::BAD_REQUEST)
+        );
         // Deactivated hub stops accepting (request stays in FIFO).
         {
             let (req, resp) = h.fabric_fifos();
@@ -623,9 +665,8 @@ mod tests {
         }
         h.clear_error(); // also reactivates
         h.tick(t(12_000));
-        while h.pop_outgoing(t(12_000)).is_none() {
+        if h.pop_outgoing(t(12_000)).is_none() {
             h.tick(t(13_000));
-            break;
         }
         h.handle_noc(
             t(14_000),
@@ -683,7 +724,11 @@ mod tests {
         h.tick(t(12_000));
         assert!(matches!(
             h.pop_irq(),
-            Some(IrqCause::PageFault { vaddr: 0x5000, is_write: false, hub: 0 })
+            Some(IrqCause::PageFault {
+                vaddr: 0x5000,
+                is_write: false,
+                hub: 0
+            })
         ));
         // Nothing issues while faulted.
         for c in 13..30 {

@@ -51,10 +51,21 @@ impl std::error::Error for AsmError {}
 #[derive(Clone, Debug)]
 enum Draft {
     Ready(Inst),
-    Branch { cond: Cond, rs1: Reg, rs2: Reg, label: String },
-    Jal { rd: Reg, label: String },
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jal {
+        rd: Reg,
+        label: String,
+    },
     /// `rd = instruction index of label` (for indirect calls/returns).
-    La { rd: Reg, label: String },
+    La {
+        rd: Reg,
+        label: String,
+    },
 }
 
 /// The assembler. Emit instructions with the mnemonic methods, then call
@@ -95,97 +106,192 @@ impl Asm {
 
     /// `rd = rs1 + rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 - rs2`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 & rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 | rs2`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 ^ rs2`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 << rs2`.
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 >> rs2` (logical).
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 * rs2`.
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 / rs2` (signed).
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 % rs2` (signed).
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 < rs2)` signed.
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 < rs2)` unsigned.
     pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 + imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst::AluImm { op: AluOp::Add, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 & imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst::AluImm { op: AluOp::And, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 | imm`.
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst::AluImm { op: AluOp::Or, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 ^ imm`.
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 << imm`.
     pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 >> imm` (logical).
     pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = (rs1 < imm)` signed.
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = imm`.
@@ -207,53 +313,113 @@ impl Asm {
 
     /// `rd = mem64[base + off]`.
     pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) {
-        self.emit(Inst::Load { width: Width::B8, signed: false, rd, base, off });
+        self.emit(Inst::Load {
+            width: Width::B8,
+            signed: false,
+            rd,
+            base,
+            off,
+        });
     }
 
     /// `rd = zext(mem32[base + off])`.
     pub fn lwu(&mut self, rd: Reg, base: Reg, off: i64) {
-        self.emit(Inst::Load { width: Width::B4, signed: false, rd, base, off });
+        self.emit(Inst::Load {
+            width: Width::B4,
+            signed: false,
+            rd,
+            base,
+            off,
+        });
     }
 
     /// `rd = sext(mem32[base + off])`.
     pub fn lw(&mut self, rd: Reg, base: Reg, off: i64) {
-        self.emit(Inst::Load { width: Width::B4, signed: true, rd, base, off });
+        self.emit(Inst::Load {
+            width: Width::B4,
+            signed: true,
+            rd,
+            base,
+            off,
+        });
     }
 
     /// `rd = zext(mem8[base + off])`.
     pub fn lbu(&mut self, rd: Reg, base: Reg, off: i64) {
-        self.emit(Inst::Load { width: Width::B1, signed: false, rd, base, off });
+        self.emit(Inst::Load {
+            width: Width::B1,
+            signed: false,
+            rd,
+            base,
+            off,
+        });
     }
 
     /// `mem64[base + off] = src`.
     pub fn sd(&mut self, src: Reg, base: Reg, off: i64) {
-        self.emit(Inst::Store { width: Width::B8, src, base, off });
+        self.emit(Inst::Store {
+            width: Width::B8,
+            src,
+            base,
+            off,
+        });
     }
 
     /// `mem32[base + off] = src`.
     pub fn sw(&mut self, src: Reg, base: Reg, off: i64) {
-        self.emit(Inst::Store { width: Width::B4, src, base, off });
+        self.emit(Inst::Store {
+            width: Width::B4,
+            src,
+            base,
+            off,
+        });
     }
 
     /// `mem8[base + off] = src`.
     pub fn sb(&mut self, src: Reg, base: Reg, off: i64) {
-        self.emit(Inst::Store { width: Width::B1, src, base, off });
+        self.emit(Inst::Store {
+            width: Width::B1,
+            src,
+            base,
+            off,
+        });
     }
 
     /// `rd = amoswap.d(mem[base], src)`.
     pub fn amoswap(&mut self, rd: Reg, base: Reg, src: Reg) {
-        self.emit(Inst::Amo { op: AmoOp::Swap, width: Width::B8, rd, base, src, expected: Reg::ZERO });
+        self.emit(Inst::Amo {
+            op: AmoOp::Swap,
+            width: Width::B8,
+            rd,
+            base,
+            src,
+            expected: Reg::ZERO,
+        });
     }
 
     /// `rd = amoadd.d(mem[base], src)`.
     pub fn amoadd(&mut self, rd: Reg, base: Reg, src: Reg) {
-        self.emit(Inst::Amo { op: AmoOp::Add, width: Width::B8, rd, base, src, expected: Reg::ZERO });
+        self.emit(Inst::Amo {
+            op: AmoOp::Add,
+            width: Width::B8,
+            rd,
+            base,
+            src,
+            expected: Reg::ZERO,
+        });
     }
 
     /// `rd = cas.d(mem[base], expected, src)` — compare-and-swap (models an
     /// LR/SC pair executed at the coherence point).
     pub fn cas(&mut self, rd: Reg, base: Reg, expected: Reg, src: Reg) {
-        self.emit(Inst::Amo { op: AmoOp::Cas, width: Width::B8, rd, base, src, expected });
+        self.emit(Inst::Amo {
+            op: AmoOp::Cas,
+            width: Width::B8,
+            rd,
+            base,
+            src,
+            expected,
+        });
     }
 
     /// Full memory fence.
@@ -354,37 +520,72 @@ impl Asm {
 
     /// `rd = rs1 +. rs2` (f64).
     pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Fp { op: FpOp::Add, rd, rs1, rs2 });
+        self.emit(Inst::Fp {
+            op: FpOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 -. rs2`.
     pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Fp { op: FpOp::Sub, rd, rs1, rs2 });
+        self.emit(Inst::Fp {
+            op: FpOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 *. rs2`.
     pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Fp { op: FpOp::Mul, rd, rs1, rs2 });
+        self.emit(Inst::Fp {
+            op: FpOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 /. rs2`.
     pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Fp { op: FpOp::Div, rd, rs1, rs2 });
+        self.emit(Inst::Fp {
+            op: FpOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = sqrt(rs1)`.
     pub fn fsqrt(&mut self, rd: Reg, rs1: Reg) {
-        self.emit(Inst::Fp { op: FpOp::Sqrt, rd, rs1, rs2: Reg::ZERO });
+        self.emit(Inst::Fp {
+            op: FpOp::Sqrt,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+        });
     }
 
     /// `rd = (rs1 <. rs2)`.
     pub fn fcmplt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::FpCmp { cmp: FpCmp::Lt, rd, rs1, rs2 });
+        self.emit(Inst::FpCmp {
+            cmp: FpCmp::Lt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 <=. rs2)`.
     pub fn fcmple(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::FpCmp { cmp: FpCmp::Le, rd, rs1, rs2 });
+        self.emit(Inst::FpCmp {
+            cmp: FpCmp::Le,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (f64)(i64)rs1`.
@@ -437,7 +638,12 @@ impl Asm {
         for d in &self.drafts {
             let inst = match d {
                 Draft::Ready(i) => *i,
-                Draft::Branch { cond, rs1, rs2, label } => Inst::Branch {
+                Draft::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => Inst::Branch {
                     cond: *cond,
                     rs1: *rs1,
                     rs2: *rs2,
@@ -473,8 +679,20 @@ mod tests {
         a.j("mid"); // backward
         a.halt();
         let p = a.assemble().unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::ZERO, target: 2 }));
-        assert_eq!(p.fetch(2), Some(Inst::Jal { rd: Reg::ZERO, target: 1 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 2
+            })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Jal {
+                rd: Reg::ZERO,
+                target: 1
+            })
+        );
     }
 
     #[test]
@@ -503,7 +721,13 @@ mod tests {
         a.label("f");
         a.ret();
         let p = a.assemble().unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Jal { rd: Reg::RA, target: 2 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Jal {
+                rd: Reg::RA,
+                target: 2
+            })
+        );
     }
 
     #[test]
@@ -514,7 +738,13 @@ mod tests {
         a.label("data");
         a.nop();
         let p = a.assemble().unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Li { rd: regs::T[0], imm: 2 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Li {
+                rd: regs::T[0],
+                imm: 2
+            })
+        );
     }
 
     #[test]

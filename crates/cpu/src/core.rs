@@ -175,7 +175,12 @@ impl Core {
 
     /// A short description of why the core is not issuing (debug aid).
     pub fn wait_state(&self) -> String {
-        format!("{:?} store_buf={} inflight={:?}", self.wait, self.store_buf.len(), self.store_inflight)
+        format!(
+            "{:?} store_buf={} inflight={:?}",
+            self.wait,
+            self.store_buf.len(),
+            self.store_inflight
+        )
     }
 
     /// Reads a register (x0 reads as zero).
@@ -300,6 +305,55 @@ impl Core {
         }
     }
 
+    /// The earliest time ticking this core can next do observable work, or
+    /// `None` when it can only be woken externally (halted, or blocked on a
+    /// memory response).
+    ///
+    /// Mirrors [`tick`](Core::tick) exactly: the store-buffer pump can act
+    /// whenever no store is in flight and the buffer is non-empty (even while
+    /// halted); a core waiting on memory is woken push-style by
+    /// [`mem_response`](Core::mem_response); a running core issues no earlier
+    /// than `next_issue`. Skipped stall edges must be reported back through
+    /// [`account_skipped_edges`](Core::account_skipped_edges) so statistics
+    /// stay bit-identical with edge-by-edge ticking.
+    pub fn next_event_time(&self, now: Time) -> Option<Time> {
+        if self.store_inflight.is_none() && !self.store_buf.is_empty() {
+            return Some(now);
+        }
+        if !self.out.is_empty() {
+            // A request is still queued for the tile to pop.
+            return Some(now);
+        }
+        match self.wait {
+            Wait::Halted => None,
+            Wait::Load(..) | Wait::Amo(..) | Wait::MmioLoad(..) | Wait::MmioStore(..) => None,
+            Wait::Drain => {
+                if self.drain_needed() {
+                    None
+                } else {
+                    Some(now)
+                }
+            }
+            Wait::None => Some(self.next_issue.max(now)),
+        }
+    }
+
+    /// Accounts for `edges` clock edges that were skipped while this core was
+    /// provably inert, reproducing exactly the statistics [`tick`](Core::tick)
+    /// would have recorded: a core blocked on memory (or draining with a
+    /// store in flight) counts one memory-stall cycle per edge; a halted or
+    /// issue-limited core counts nothing.
+    pub fn account_skipped_edges(&mut self, edges: u64) {
+        let stalled = match self.wait {
+            Wait::Load(..) | Wait::Amo(..) | Wait::MmioLoad(..) | Wait::MmioStore(..) => true,
+            Wait::Drain => self.drain_needed(),
+            Wait::None | Wait::Halted => false,
+        };
+        if stalled {
+            self.stats.mem_stall_cycles += edges;
+        }
+    }
+
     /// Advances the core by one clock edge.
     pub fn tick(&mut self, now: Time) {
         self.pump_store_buffer();
@@ -405,7 +459,8 @@ impl Core {
                     self.stats.stores += 1;
                     self.l1.store(addr, width, value);
                     let id = self.alloc_id();
-                    self.store_buf.push_back(MemReq::store(id, addr, width, value));
+                    self.store_buf
+                        .push_back(MemReq::store(id, addr, width, value));
                 }
             }
             Inst::Amo {
@@ -557,13 +612,7 @@ fn alu(op: AluOp, a: u64, b: u64) -> u64 {
                 ((a as i64).wrapping_rem(b as i64)) as u64
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         AluOp::Remu => {
             if b == 0 {
                 a
@@ -627,8 +676,7 @@ mod tests {
         fn read_scalar(&self, addr: u64, width: Width) -> u64 {
             let mut v = 0u64;
             for i in 0..width.bytes() {
-                v |= u64::from(self.data.get(&(addr + i as u64)).copied().unwrap_or(0))
-                    << (8 * i);
+                v |= u64::from(self.data.get(&(addr + i as u64)).copied().unwrap_or(0)) << (8 * i);
             }
             v
         }

@@ -123,7 +123,12 @@ impl AreaModel {
 }
 
 /// Area-Delay Product, normalized: `(area / base_area) * (time / base_time)`.
-pub fn normalized_adp(area_mm2: f64, runtime_ps: u64, base_area_mm2: f64, base_runtime_ps: u64) -> f64 {
+pub fn normalized_adp(
+    area_mm2: f64,
+    runtime_ps: u64,
+    base_area_mm2: f64,
+    base_runtime_ps: u64,
+) -> f64 {
     (area_mm2 / base_area_mm2) * (runtime_ps as f64 / base_runtime_ps as f64)
 }
 
@@ -167,7 +172,10 @@ mod tests {
             fabric_mm2: 1.0,
         };
         let adapter = m.duet_mm2() - m.fpsoc_mm2();
-        assert!(adapter < base_tile_area_mm2(), "adapter {adapter} mm2 too big");
+        assert!(
+            adapter < base_tile_area_mm2(),
+            "adapter {adapter} mm2 too big"
+        );
     }
 
     #[test]

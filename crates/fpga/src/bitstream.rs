@@ -35,12 +35,9 @@ impl Bitstream {
             + u64::from(brams) * BITS_PER_BRAM
             + u64::from(mults) * BITS_PER_MULT;
         let n_words = bits.div_ceil(64) as usize;
-        let mut seed = netlist
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-            });
+        let mut seed = netlist.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
         let words: Vec<u64> = (0..n_words)
             .map(|_| {
                 seed ^= seed << 13;
@@ -59,9 +56,7 @@ impl Bitstream {
 
     /// The integrity checksum the programming engine verifies.
     pub fn checksum_of(words: &[u64]) -> u64 {
-        words
-            .iter()
-            .fold(0u64, |acc, w| acc.rotate_left(1) ^ *w)
+        words.iter().fold(0u64, |acc, w| acc.rotate_left(1) ^ *w)
     }
 
     /// Whether the stored checksum matches the contents.

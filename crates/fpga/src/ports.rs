@@ -181,6 +181,7 @@ impl HubPort<'_> {
     }
 
     /// Issues an atomic. Returns false if the FIFO is full.
+    #[allow(clippy::too_many_arguments)]
     pub fn amo(
         &mut self,
         now: Time,
@@ -275,6 +276,20 @@ pub trait SoftAccelerator {
     /// Resets all internal state (on reconfiguration or feature-switch
     /// reset).
     fn reset(&mut self) {}
+
+    /// Whether the design attests that, with no input visible on any of its
+    /// ports, [`tick`](SoftAccelerator::tick) neither changes observable
+    /// state nor produces output. The engine uses this to skip provably-dead
+    /// eFPGA clock edges (event-horizon scheduling); it re-checks the ports
+    /// itself, so an implementation only vouches for its *internal* state:
+    /// no in-flight operation, no undelivered result, no unconsumed command.
+    ///
+    /// Returning `false` is always safe (every slow edge then executes, as
+    /// exhaustive ticking would) — which is why it is the default. Returning
+    /// `true` while internal work remains breaks cycle accuracy.
+    fn is_idle(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -314,7 +329,9 @@ mod tests {
             resp: &mut resp,
         };
         assert!(port.pop_resp(Time::from_ps(20_000)).is_none());
-        let r = port.pop_resp(Time::from_ps(30_000)).expect("after 2 slow edges");
+        let r = port
+            .pop_resp(Time::from_ps(30_000))
+            .expect("after 2 slow edges");
         assert!(matches!(r.kind, FpgaRespKind::LoadAck { data } if data[0] == 7));
     }
 
@@ -324,8 +341,15 @@ mod tests {
         let slow = Clock::from_mhz(250.0);
         let mut down = AsyncFifo::new(4, 2, fast, slow);
         let mut up = AsyncFifo::new(4, 2, slow, fast);
-        down.push(Time::from_ps(1000), RegDown::WriteReq { txn: 9, reg: 2, value: 5 })
-            .unwrap();
+        down.push(
+            Time::from_ps(1000),
+            RegDown::WriteReq {
+                txn: 9,
+                reg: 2,
+                value: 5,
+            },
+        )
+        .unwrap();
         let mut port = RegPort {
             down: &mut down,
             up: &mut up,
@@ -333,8 +357,18 @@ mod tests {
         // Visible after 2 slow edges (4000, 8000).
         assert_eq!(port.pop(Time::from_ps(4000)), None);
         let ev = port.pop(Time::from_ps(8000)).unwrap();
-        assert_eq!(ev, RegDown::WriteReq { txn: 9, reg: 2, value: 5 });
+        assert_eq!(
+            ev,
+            RegDown::WriteReq {
+                txn: 9,
+                reg: 2,
+                value: 5
+            }
+        );
         assert!(port.write_ack(Time::from_ps(8000), 9));
-        assert_eq!(up.pop(Time::from_ps(10_000)), Some(RegUp::WriteAck { txn: 9 }));
+        assert_eq!(
+            up.pop(Time::from_ps(10_000)),
+            Some(RegUp::WriteAck { txn: 9 })
+        );
     }
 }

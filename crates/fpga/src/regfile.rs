@@ -122,6 +122,27 @@ impl FabricRegFile {
         self.outbox[reg].len()
     }
 
+    /// Whether `reg` has writes the accelerator has not consumed yet.
+    pub fn has_pending_write(&self, reg: usize) -> bool {
+        !self.inbox[reg].is_empty()
+    }
+
+    /// Whether the endpoint's *protocol* side is drained: no unacked
+    /// writes, no deferred reads, and no undelivered results — i.e. given
+    /// no new down-FIFO input, [`tick`](FabricRegFile::tick) is a no-op.
+    ///
+    /// Unconsumed argument writes (the inbox) are deliberately *not*
+    /// counted: consuming them is the accelerator's decision, and many
+    /// designs latch-and-ignore plain parameter registers. An accelerator's
+    /// [`is_idle`](crate::ports::SoftAccelerator::is_idle) must separately
+    /// check [`has_pending_write`](FabricRegFile::has_pending_write) for
+    /// every register it drains with `pop_write`.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending_reads.is_empty()
+            && self.pending_acks.is_empty()
+            && self.outbox.iter().all(|q| q.is_empty())
+    }
+
     /// Processes one eFPGA clock edge of register traffic: absorbs
     /// downstream events and services acks, deferred reads, and (in push
     /// mode) result delivery — all bounded by up-FIFO space.
@@ -158,9 +179,7 @@ impl FabricRegFile {
             let r = reg as usize % 32;
             let answer = match self.kinds[r] {
                 FabricRegKind::Value => Some(self.values[r]),
-                FabricRegKind::Queue | FabricRegKind::Barrier => {
-                    self.outbox[r].front().copied()
-                }
+                FabricRegKind::Queue | FabricRegKind::Barrier => self.outbox[r].front().copied(),
                 // Non-blocking: 1-with-consume or 0 immediately.
                 FabricRegKind::TokenQueue => {
                     if self.outbox[r].pop_front().is_some() {
@@ -173,10 +192,7 @@ impl FabricRegFile {
             match answer {
                 Some(v) => {
                     if regs.read_resp(now, txn, v) {
-                        if matches!(
-                            self.kinds[r],
-                            FabricRegKind::Queue | FabricRegKind::Barrier
-                        ) {
+                        if matches!(self.kinds[r], FabricRegKind::Queue | FabricRegKind::Barrier) {
                             self.outbox[r].pop_front();
                         }
                     } else if self.kinds[r] == FabricRegKind::TokenQueue && v == 1 {
@@ -218,7 +234,10 @@ mod tests {
     fn fifos() -> (AsyncFifo<RegDown>, AsyncFifo<RegUp>) {
         let fast = Clock::ghz1();
         let slow = Clock::from_mhz(100.0);
-        (AsyncFifo::new(8, 2, fast, slow), AsyncFifo::new(8, 2, slow, fast))
+        (
+            AsyncFifo::new(8, 2, fast, slow),
+            AsyncFifo::new(8, 2, slow, fast),
+        )
     }
 
     fn t(ps: u64) -> Time {
@@ -228,9 +247,13 @@ mod tests {
     #[test]
     fn shadow_write_lands_in_inbox() {
         let (mut down, mut up) = fifos();
-        down.push(t(1000), RegDown::ShadowWrite { reg: 0, value: 7 }).unwrap();
+        down.push(t(1000), RegDown::ShadowWrite { reg: 0, value: 7 })
+            .unwrap();
         let mut rf = FabricRegFile::new(true);
-        let mut port = RegPort { down: &mut down, up: &mut up };
+        let mut port = RegPort {
+            down: &mut down,
+            up: &mut up,
+        };
         rf.tick(t(20_000), &mut port);
         assert_eq!(rf.pop_write(0), Some(7));
         assert_eq!(rf.pop_write(0), None);
@@ -240,10 +263,21 @@ mod tests {
     #[test]
     fn normal_write_is_acked() {
         let (mut down, mut up) = fifos();
-        down.push(t(1000), RegDown::WriteReq { txn: 3, reg: 1, value: 9 }).unwrap();
+        down.push(
+            t(1000),
+            RegDown::WriteReq {
+                txn: 3,
+                reg: 1,
+                value: 9,
+            },
+        )
+        .unwrap();
         let mut rf = FabricRegFile::new(false);
         {
-            let mut port = RegPort { down: &mut down, up: &mut up };
+            let mut port = RegPort {
+                down: &mut down,
+                up: &mut up,
+            };
             rf.tick(t(20_000), &mut port);
         }
         assert_eq!(rf.pop_write(1), Some(9));
@@ -253,34 +287,59 @@ mod tests {
     #[test]
     fn queue_read_blocks_until_result() {
         let (mut down, mut up) = fifos();
-        down.push(t(1000), RegDown::ReadReq { txn: 5, reg: 2 }).unwrap();
+        down.push(t(1000), RegDown::ReadReq { txn: 5, reg: 2 })
+            .unwrap();
         let mut rf = FabricRegFile::new(false);
         rf.set_queue(2);
         {
-            let mut port = RegPort { down: &mut down, up: &mut up };
+            let mut port = RegPort {
+                down: &mut down,
+                up: &mut up,
+            };
             rf.tick(t(20_000), &mut port);
         }
         assert_eq!(up.pop(t(25_000)), None, "no result yet: read deferred");
         rf.push_result(2, 55);
         {
-            let mut port = RegPort { down: &mut down, up: &mut up };
+            let mut port = RegPort {
+                down: &mut down,
+                up: &mut up,
+            };
             rf.tick(t(30_000), &mut port);
         }
-        assert_eq!(up.pop(t(35_000)), Some(RegUp::ReadResp { txn: 5, value: 55 }));
+        assert_eq!(
+            up.pop(t(35_000)),
+            Some(RegUp::ReadResp { txn: 5, value: 55 })
+        );
     }
 
     #[test]
     fn value_read_answers_immediately() {
         let (mut down, mut up) = fifos();
-        down.push(t(1000), RegDown::WriteReq { txn: 1, reg: 3, value: 8 }).unwrap();
-        down.push(t(2000), RegDown::ReadReq { txn: 2, reg: 3 }).unwrap();
+        down.push(
+            t(1000),
+            RegDown::WriteReq {
+                txn: 1,
+                reg: 3,
+                value: 8,
+            },
+        )
+        .unwrap();
+        down.push(t(2000), RegDown::ReadReq { txn: 2, reg: 3 })
+            .unwrap();
         let mut rf = FabricRegFile::new(false);
         {
-            let mut port = RegPort { down: &mut down, up: &mut up };
+            let mut port = RegPort {
+                down: &mut down,
+                up: &mut up,
+            };
             rf.tick(t(30_000), &mut port);
         }
         assert_eq!(up.pop(t(35_000)), Some(RegUp::WriteAck { txn: 1 }));
-        assert_eq!(up.pop(t(36_000)), Some(RegUp::ReadResp { txn: 2, value: 8 }));
+        assert_eq!(
+            up.pop(t(36_000)),
+            Some(RegUp::ReadResp { txn: 2, value: 8 })
+        );
     }
 
     #[test]
@@ -291,7 +350,10 @@ mod tests {
         rf.push_result(4, 11);
         rf.push_result(4, 12);
         {
-            let mut port = RegPort { down: &mut down, up: &mut up };
+            let mut port = RegPort {
+                down: &mut down,
+                up: &mut up,
+            };
             rf.tick(t(10_000), &mut port);
         }
         assert_eq!(up.pop(t(15_000)), Some(RegUp::Push { reg: 4, value: 11 }));
@@ -305,7 +367,10 @@ mod tests {
         rf.set_queue(4);
         rf.push_result(4, 11);
         {
-            let mut port = RegPort { down: &mut down, up: &mut up };
+            let mut port = RegPort {
+                down: &mut down,
+                up: &mut up,
+            };
             rf.tick(t(10_000), &mut port);
         }
         assert_eq!(up.pop(t(15_000)), None, "results held, not pushed");

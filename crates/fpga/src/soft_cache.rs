@@ -111,8 +111,7 @@ impl SoftCache {
 
     /// Whether this response id belongs to the soft cache.
     pub fn owns_id(&self, id: u64) -> bool {
-        self.pending_fills.iter().any(|(i, _)| *i == id)
-            || self.wbuf.iter().any(|s| s.id == id)
+        self.pending_fills.iter().any(|(i, _)| *i == id) || self.wbuf.iter().any(|s| s.id == id)
     }
 
     /// Number of buffered (not yet acknowledged) stores.
@@ -128,7 +127,13 @@ impl SoftCache {
     /// Attempts a load. `Some(value)` on a hit (or RAW forward); `None` on
     /// a miss, in which case a fill is requested through `hub` (if the
     /// request FIFO has space) and the caller should retry on later ticks.
-    pub fn load(&mut self, now: Time, addr: Addr, width: Width, hub: &mut HubPort<'_>) -> Option<u64> {
+    pub fn load(
+        &mut self,
+        now: Time,
+        addr: Addr,
+        width: Width,
+        hub: &mut HubPort<'_>,
+    ) -> Option<u64> {
         if self.cfg.raw_forwarding {
             if let Some(s) = self
                 .wbuf
@@ -243,7 +248,10 @@ mod tests {
     fn ports() -> (AsyncFifo<crate::ports::FpgaMemReq>, AsyncFifo<FpgaMemResp>) {
         let fast = Clock::ghz1();
         let slow = Clock::from_mhz(100.0);
-        (AsyncFifo::new(8, 2, slow, fast), AsyncFifo::new(8, 2, fast, slow))
+        (
+            AsyncFifo::new(8, 2, slow, fast),
+            AsyncFifo::new(8, 2, fast, slow),
+        )
     }
 
     fn t(ps: u64) -> Time {
@@ -254,7 +262,10 @@ mod tests {
     fn miss_fill_hit_sequence() {
         let (mut req, mut resp) = ports();
         let mut sc = SoftCache::new(SoftCacheConfig::typical(), 1 << 32);
-        let mut hub = HubPort { req: &mut req, resp: &mut resp };
+        let mut hub = HubPort {
+            req: &mut req,
+            resp: &mut resp,
+        };
         assert_eq!(sc.load(t(10_000), 0x100, Width::B8, &mut hub), None);
         assert!(sc.fill_pending(LineAddr::containing(0x100)));
         // Second load while pending doesn't duplicate the fill.
@@ -269,7 +280,10 @@ mod tests {
             breakdown: LatencyBreakdown::new(),
         };
         sc.handle_resp(&fill);
-        let mut hub = HubPort { req: &mut req, resp: &mut resp };
+        let mut hub = HubPort {
+            req: &mut req,
+            resp: &mut resp,
+        };
         assert_eq!(sc.load(t(30_000), 0x100, Width::B8, &mut hub), Some(42));
         assert_eq!(sc.stats().hits, 1);
     }
@@ -281,7 +295,10 @@ mod tests {
         assert!(sc.store(0x200, Width::B8, 7));
         assert_eq!(sc.pending_stores(), 1);
         {
-            let mut hub = HubPort { req: &mut req, resp: &mut resp };
+            let mut hub = HubPort {
+                req: &mut req,
+                resp: &mut resp,
+            };
             sc.tick(t(10_000), &mut hub);
         }
         // The store went through the request FIFO.
@@ -301,7 +318,10 @@ mod tests {
         let (mut req, mut resp) = ports();
         let mut sc = SoftCache::new(SoftCacheConfig::typical(), 1 << 32);
         assert!(sc.store(0x300, Width::B8, 9));
-        let mut hub = HubPort { req: &mut req, resp: &mut resp };
+        let mut hub = HubPort {
+            req: &mut req,
+            resp: &mut resp,
+        };
         assert_eq!(sc.load(t(10_000), 0x300, Width::B8, &mut hub), Some(9));
     }
 
@@ -314,7 +334,10 @@ mod tests {
         };
         let mut sc = SoftCache::new(cfg, 1 << 32);
         assert!(sc.store(0x300, Width::B8, 9));
-        let mut hub = HubPort { req: &mut req, resp: &mut resp };
+        let mut hub = HubPort {
+            req: &mut req,
+            resp: &mut resp,
+        };
         assert_eq!(sc.load(t(10_000), 0x300, Width::B8, &mut hub), None);
     }
 
@@ -324,7 +347,10 @@ mod tests {
         let mut sc = SoftCache::new(SoftCacheConfig::typical(), 1 << 32);
         // Install a line via fill.
         {
-            let mut hub = HubPort { req: &mut req, resp: &mut resp };
+            let mut hub = HubPort {
+                req: &mut req,
+                resp: &mut resp,
+            };
             sc.load(t(10_000), 0x400, Width::B8, &mut hub);
         }
         let id = req.pop(t(12_000)).unwrap().id;
@@ -342,7 +368,10 @@ mod tests {
             breakdown: LatencyBreakdown::new(),
         });
         assert_eq!(sc.stats().invalidations, 1);
-        let mut hub = HubPort { req: &mut req, resp: &mut resp };
+        let mut hub = HubPort {
+            req: &mut req,
+            resp: &mut resp,
+        };
         assert_eq!(
             sc.load(t(20_000), 0x400, Width::B8, &mut hub),
             None,
@@ -376,7 +405,10 @@ mod tests {
         let mut sc = SoftCache::new(SoftCacheConfig::typical(), 1 << 32);
         assert!(sc.store(0x500, Width::B8, 0xAA));
         {
-            let mut hub = HubPort { req: &mut req, resp: &mut resp };
+            let mut hub = HubPort {
+                req: &mut req,
+                resp: &mut resp,
+            };
             // Trigger a fill via a load to the other half of the line.
             assert_eq!(sc.load(t(10_000), 0x508, Width::B8, &mut hub), None);
         }
@@ -390,7 +422,10 @@ mod tests {
             kind: FpgaRespKind::LoadAck { data: [0; 16] },
             breakdown: LatencyBreakdown::new(),
         });
-        let mut hub = HubPort { req: &mut req, resp: &mut resp };
+        let mut hub = HubPort {
+            req: &mut req,
+            resp: &mut resp,
+        };
         assert_eq!(
             sc.load(t(20_000), 0x500, Width::B8, &mut hub),
             Some(0xAA),

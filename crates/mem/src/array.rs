@@ -50,8 +50,18 @@ impl<M> CacheArray<M> {
         CacheArray {
             sets,
             ways,
-            lines: (0..sets * ways).map(|_| None).collect(),
+            // Materialized on first insert: a system builds one array per
+            // cache/shard/hub, and most never see traffic in short runs —
+            // eagerly zeroing sets*ways slots dominated construction time.
+            lines: Vec::new(),
             tick: 0,
+        }
+    }
+
+    /// Allocates the slot storage (all-empty) if it has not been yet.
+    fn ensure_backing(&mut self) {
+        if self.lines.is_empty() {
+            self.lines = (0..self.sets * self.ways).map(|_| None).collect();
         }
     }
 
@@ -80,8 +90,14 @@ impl<M> CacheArray<M> {
     }
 
     fn find(&self, line: LineAddr) -> Option<usize> {
-        self.slot_range(line)
-            .find(|&i| self.lines[i].as_ref().is_some_and(|w| w.valid && w.tag == line.0))
+        if self.lines.is_empty() {
+            return None;
+        }
+        self.slot_range(line).find(|&i| {
+            self.lines[i]
+                .as_ref()
+                .is_some_and(|w| w.valid && w.tag == line.0)
+        })
     }
 
     /// Looks up a line without touching LRU state.
@@ -119,11 +135,14 @@ impl<M> CacheArray<M> {
     /// so which one (the LRU victim of the set). Returns `None` when the
     /// line is already present or a free way exists.
     pub fn victim_for(&self, line: LineAddr) -> Option<LineAddr> {
-        if self.find(line).is_some() {
+        if self.lines.is_empty() || self.find(line).is_some() {
             return None;
         }
         let range = self.slot_range(line);
-        if self.lines[range.clone()].iter().any(|w| w.is_none() || !w.as_ref().unwrap().valid) {
+        if self.lines[range.clone()]
+            .iter()
+            .any(|w| w.is_none() || !w.as_ref().unwrap().valid)
+        {
             return None;
         }
         let victim = range
@@ -136,6 +155,7 @@ impl<M> CacheArray<M> {
     /// victim first (see [`victim_for`](CacheArray::victim_for)); if the set
     /// is still full, the LRU line is silently dropped.
     pub fn insert(&mut self, line: LineAddr, data: LineData, meta: M) {
+        self.ensure_backing();
         self.tick += 1;
         if let Some(i) = self.find(line) {
             let w = self.lines[i].as_mut().unwrap();

@@ -189,7 +189,11 @@ impl L3Shard {
                     sharers.push(node);
                 }
             }
-            DirState::I => e.state = DirState::S { sharers: vec![node] },
+            DirState::I => {
+                e.state = DirState::S {
+                    sharers: vec![node],
+                }
+            }
             DirState::EorM { .. } => panic!("warm_sharer on owned line"),
         }
     }
@@ -231,6 +235,24 @@ impl L3Shard {
                 .dir
                 .values()
                 .all(|d| d.busy.is_none() && d.queued.is_empty())
+    }
+
+    /// True when ticking or draining this shard right now could do anything.
+    ///
+    /// Busy/queued directory lines are *passive*: they only progress when a
+    /// response arrives in `incoming`, so when both queues are empty, `tick`
+    /// and `pop_outgoing` are provable no-ops.
+    pub fn is_active(&self) -> bool {
+        !self.incoming.is_empty() || !self.out.is_empty()
+    }
+
+    /// The earliest time this shard can next do observable work, or `None`
+    /// when it can only be woken by an arriving message.
+    pub fn next_event_time(&self, now: Time) -> Option<Time> {
+        if !self.incoming.is_empty() {
+            return Some(now);
+        }
+        self.out.front().map(|m| m.ready_at)
     }
 
     /// Delivers a coherence message from the NoC glue. `flight` is the
@@ -295,11 +317,11 @@ impl L3Shard {
         let line = msg.line();
         let entry = self.dir.entry(line.0).or_default();
         match &msg {
-            CoherenceMsg::GetS { .. } | CoherenceMsg::GetM { .. } | CoherenceMsg::PutM { .. } => {
-                if entry.busy.is_some() {
-                    entry.queued.push_back((src, msg, arrived, flight));
-                    return;
-                }
+            CoherenceMsg::GetS { .. } | CoherenceMsg::GetM { .. } | CoherenceMsg::PutM { .. }
+                if entry.busy.is_some() =>
+            {
+                entry.queued.push_back((src, msg, arrived, flight));
+                return;
             }
             _ => {}
         }
@@ -326,7 +348,14 @@ impl L3Shard {
         }
     }
 
-    fn process_gets(&mut self, now: Time, src: NodeId, line: LineAddr, arrived: Time, flight: Time) {
+    fn process_gets(
+        &mut self,
+        now: Time,
+        src: NodeId,
+        line: LineAddr,
+        arrived: Time,
+        flight: Time,
+    ) {
         self.stats.gets += 1;
         let mut bd = LatencyBreakdown::new();
         bd.noc += flight;
@@ -405,7 +434,14 @@ impl L3Shard {
         }
     }
 
-    fn process_getm(&mut self, now: Time, src: NodeId, line: LineAddr, arrived: Time, flight: Time) {
+    fn process_getm(
+        &mut self,
+        now: Time,
+        src: NodeId,
+        line: LineAddr,
+        arrived: Time,
+        flight: Time,
+    ) {
         self.stats.getm += 1;
         let mut bd = LatencyBreakdown::new();
         bd.noc += flight;
@@ -604,12 +640,23 @@ mod tests {
         for (time, node) in [(1u64, 2), (50, 3)] {
             s.handle_msg(t(time), node, CoherenceMsg::GetS { line: LineAddr(5) });
             let _ = drain(&mut s, time + 150);
-            s.handle_msg(t(time + 160), node, CoherenceMsg::Unblock { line: LineAddr(5) });
+            s.handle_msg(
+                t(time + 160),
+                node,
+                CoherenceMsg::Unblock { line: LineAddr(5) },
+            );
             let _ = drain(&mut s, time + 161);
         }
         // node 2's GetS made it owner (E); node 3's GetS triggered FwdGetS;
         // complete that txn's WBData.
-        s.handle_msg(t(250), 2, CoherenceMsg::WBData { line: LineAddr(5), data: [0; 16] });
+        s.handle_msg(
+            t(250),
+            2,
+            CoherenceMsg::WBData {
+                line: LineAddr(5),
+                data: [0; 16],
+            },
+        );
         let _ = drain(&mut s, 251);
         // Now node 4 wants M.
         s.handle_msg(t(260), 4, CoherenceMsg::GetM { line: LineAddr(5) });
@@ -644,7 +691,10 @@ mod tests {
         s.handle_msg(t(401), 2, CoherenceMsg::Unblock { line: LineAddr(5) });
         let out = drain(&mut s, 600);
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0].1, CoherenceMsg::FwdGetS { requestor: 3, .. }));
+        assert!(matches!(
+            out[0].1,
+            CoherenceMsg::FwdGetS { requestor: 3, .. }
+        ));
     }
 
     #[test]

@@ -47,6 +47,4 @@ pub use l1::{L1Cache, L1Config, L1Stats};
 pub use msg::{CoherenceMsg, Grant};
 pub use priv_cache::{CacheConfig, CacheStats, HomeMap, InvalReason, LineState, PrivCache};
 pub use tlb::{PagePerms, PageTable, Ppn, Tlb, Translation, Vpn};
-pub use types::{
-    Addr, AmoOp, LineAddr, LineData, MemOp, MemReq, MemResp, Width, LINE_BYTES,
-};
+pub use types::{Addr, AmoOp, LineAddr, LineData, MemOp, MemReq, MemResp, Width, LINE_BYTES};

@@ -305,6 +305,38 @@ impl PrivCache {
             && self.wb.is_empty()
     }
 
+    /// True when ticking or draining this cache right now could do anything.
+    ///
+    /// MSHRs and pending writebacks alone are *passive*: they only progress
+    /// when a NoC message arrives (which lands in `noc_in` and re-activates
+    /// the cache), so they are deliberately excluded. When this returns
+    /// `false`, `tick`, `pop_outgoing`, `take_back_invalidations`, and
+    /// `pop_cpu_resp` are all provable no-ops.
+    pub fn is_active(&self) -> bool {
+        !self.req_in.is_empty()
+            || !self.noc_in.is_empty()
+            || !self.resp_out.is_empty()
+            || !self.noc_out.is_empty()
+            || !self.back_inval.is_empty()
+    }
+
+    /// The earliest time this cache can next do observable work, or `None`
+    /// when it can only be woken externally (empty queues, or only passive
+    /// MSHR/writeback state waiting on the NoC).
+    pub fn next_event_time(&self, now: Time) -> Option<Time> {
+        if !self.req_in.is_empty() || !self.noc_in.is_empty() || !self.back_inval.is_empty() {
+            return Some(now);
+        }
+        let mut earliest: Option<Time> = None;
+        if let Some(&(t, _)) = self.resp_out.front() {
+            earliest = Some(t);
+        }
+        if let Some(m) = self.noc_out.front() {
+            earliest = Some(earliest.map_or(m.ready_at, |e: Time| e.min(m.ready_at)));
+        }
+        earliest
+    }
+
     /// Looks up a line's stable state (test/debug aid).
     pub fn line_state(&self, line: LineAddr) -> Option<LineState> {
         self.array.peek(line).map(|(m, _)| *m)
@@ -385,10 +417,7 @@ impl PrivCache {
                 self.try_complete_fill(now, line);
             }
             CoherenceMsg::InvAck { line } => {
-                let mshr = self
-                    .mshrs
-                    .get_mut(&line.0)
-                    .expect("InvAck without MSHR");
+                let mshr = self.mshrs.get_mut(&line.0).expect("InvAck without MSHR");
                 mshr.acks_got += 1;
                 self.try_complete_fill(now, line);
             }
@@ -448,7 +477,12 @@ impl PrivCache {
                         self.cfg.proc_cycles,
                     );
                     let home = self.home.home_of(line);
-                    self.send(now, home, CoherenceMsg::WBData { line, data }, self.cfg.proc_cycles);
+                    self.send(
+                        now,
+                        home,
+                        CoherenceMsg::WBData { line, data },
+                        self.cfg.proc_cycles,
+                    );
                 } else if let Some(entry) = self.wb.get_mut(&line.0) {
                     // Race: we are writing the line back; still the owner.
                     debug_assert_eq!(entry.state, WbState::MiA);
@@ -466,7 +500,12 @@ impl PrivCache {
                         self.cfg.proc_cycles,
                     );
                     let home = self.home.home_of(line);
-                    self.send(now, home, CoherenceMsg::WBData { line, data }, self.cfg.proc_cycles);
+                    self.send(
+                        now,
+                        home,
+                        CoherenceMsg::WBData { line, data },
+                        self.cfg.proc_cycles,
+                    );
                 } else {
                     panic!("FwdGetS for line {line:?} we do not own");
                 }
@@ -540,7 +579,12 @@ impl PrivCache {
         let (data, grant) = mshr.data.take().unwrap();
         // Release the home's busy state.
         let home = self.home.home_of(line);
-        self.send(now, home, CoherenceMsg::Unblock { line }, self.cfg.proc_cycles);
+        self.send(
+            now,
+            home,
+            CoherenceMsg::Unblock { line },
+            self.cfg.proc_cycles,
+        );
 
         if mshr.fill_invalidated {
             debug_assert!(!mshr.want_m);
@@ -722,7 +766,8 @@ impl PrivCache {
                 self.req_in.pop_front();
                 self.stats.hits += 1;
                 let mut data = *self.array.get(line).map(|(_, d)| d).unwrap();
-                let wrote = self.finish_access(now, &req, &mut data, &LatencyBreakdown::new(), false);
+                let wrote =
+                    self.finish_access(now, &req, &mut data, &LatencyBreakdown::new(), false);
                 if wrote {
                     if let Some((_, d)) = self.array.get_mut(line) {
                         *d = data;
@@ -737,7 +782,8 @@ impl PrivCache {
                     *self.array.meta_mut(line).unwrap() = LineState::M;
                 }
                 let mut data = *self.array.get(line).map(|(_, d)| d).unwrap();
-                let wrote = self.finish_access(now, &req, &mut data, &LatencyBreakdown::new(), false);
+                let wrote =
+                    self.finish_access(now, &req, &mut data, &LatencyBreakdown::new(), false);
                 if wrote {
                     if let Some((_, d)) = self.array.get_mut(line) {
                         *d = data;
@@ -891,7 +937,10 @@ mod tests {
     }
 
     /// Runs ticks, collecting outgoing messages, until a CPU response pops.
-    fn run_until_resp(c: &mut PrivCache, mut cycle: u64) -> (u64, MemResp, Vec<(NodeId, CoherenceMsg)>) {
+    fn run_until_resp(
+        c: &mut PrivCache,
+        mut cycle: u64,
+    ) -> (u64, MemResp, Vec<(NodeId, CoherenceMsg)>) {
         let mut out = Vec::new();
         for _ in 0..1000 {
             cycle += 1;
@@ -998,7 +1047,14 @@ mod tests {
         );
         c.tick(t(13));
         assert!(c.pop_cpu_resp(t(13)).is_none(), "must wait for InvAck");
-        c.handle_msg(t(14), 2, CoherenceMsg::InvAck { line: LineAddr(0x10) }, Time::ZERO);
+        c.handle_msg(
+            t(14),
+            2,
+            CoherenceMsg::InvAck {
+                line: LineAddr(0x10),
+            },
+            Time::ZERO,
+        );
         let (_, resp, _) = run_until_resp(&mut c, 14);
         assert_eq!(resp.id, 4);
         assert_eq!(c.line_state(LineAddr(0x10)), Some(LineState::M));
@@ -1063,7 +1119,9 @@ mod tests {
         let mut to_home = None;
         while let Some((dst, m)) = c.pop_outgoing(t(14)) {
             match m {
-                CoherenceMsg::DataOwner { grant, breakdown, .. } => {
+                CoherenceMsg::DataOwner {
+                    grant, breakdown, ..
+                } => {
                     assert_eq!(dst, 2);
                     assert_eq!(grant, Grant::S);
                     assert!(breakdown.noc >= Time::from_ns(3));
@@ -1149,7 +1207,14 @@ mod tests {
         assert!(saw_putm);
         assert_eq!(c.stats().writebacks, 1);
         // PutAck clears the writeback buffer.
-        c.handle_msg(t(25), 1, CoherenceMsg::PutAck { line: LineAddr(0x10) }, Time::ZERO);
+        c.handle_msg(
+            t(25),
+            1,
+            CoherenceMsg::PutAck {
+                line: LineAddr(0x10),
+            },
+            Time::ZERO,
+        );
         // Wait for the fill response before checking idle.
         let _ = run_until_resp(&mut c, 25);
         assert!(c.is_idle());
@@ -1205,7 +1270,14 @@ mod tests {
         }
         assert!(got_data, "wb buffer must serve forwarded requests");
         // PutAck finally clears it.
-        c.handle_msg(t(21), 1, CoherenceMsg::PutAck { line: LineAddr(0x10) }, Time::ZERO);
+        c.handle_msg(
+            t(21),
+            1,
+            CoherenceMsg::PutAck {
+                line: LineAddr(0x10),
+            },
+            Time::ZERO,
+        );
         let _ = run_until_resp(&mut c, 21);
         assert!(c.is_idle());
     }
@@ -1216,7 +1288,14 @@ mod tests {
         let mut d = [0u8; 16];
         write_scalar(&mut d, 0, Width::B8, 41);
         c.warm_insert(LineAddr(0x10), d, LineState::M);
-        c.cpu_request(MemReq::amo(9, crate::types::AmoOp::Add, 0x100, Width::B8, 1, 0));
+        c.cpu_request(MemReq::amo(
+            9,
+            crate::types::AmoOp::Add,
+            0x100,
+            Width::B8,
+            1,
+            0,
+        ));
         let (_, resp, _) = run_until_resp(&mut c, 0);
         assert_eq!(resp.rdata, 41);
         let line = c.peek_line(LineAddr(0x10)).unwrap();

@@ -255,7 +255,7 @@ mod tests {
         let mut h = harness(1);
         let mut d = [0u8; 16];
         crate::types::write_scalar(&mut d, 0, Width::B8, 1234);
-        h.poke_line(LineAddr::containing(0x400) , d);
+        h.poke_line(LineAddr::containing(0x400), d);
         h.request(0, MemReq::load(1, 0x400, Width::B8));
         let (_, r) = h.run_until_resp(0, 500);
         assert_eq!(r.rdata, 1234);
@@ -339,7 +339,10 @@ mod tests {
         while done < 4 {
             for c in 0..4 {
                 if !inflight[c] && remaining[c] > 0 {
-                    h.request(c, MemReq::amo(100 + c as u64, AmoOp::Add, addr, Width::B8, 1, 0));
+                    h.request(
+                        c,
+                        MemReq::amo(100 + c as u64, AmoOp::Add, addr, Width::B8, 1, 0),
+                    );
                     inflight[c] = true;
                 }
             }

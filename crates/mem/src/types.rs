@@ -192,7 +192,10 @@ pub struct MemResp {
 /// Panics if `offset + width` exceeds the line.
 pub fn read_scalar(line: &LineData, offset: usize, width: Width) -> u64 {
     let n = width.bytes();
-    assert!(offset + n <= LINE_BYTES, "scalar read crosses line boundary");
+    assert!(
+        offset + n <= LINE_BYTES,
+        "scalar read crosses line boundary"
+    );
     let mut v = 0u64;
     for i in 0..n {
         v |= u64::from(line[offset + i]) << (8 * i);
@@ -208,7 +211,10 @@ pub fn read_scalar(line: &LineData, offset: usize, width: Width) -> u64 {
 /// Panics if `offset + width` exceeds the line.
 pub fn write_scalar(line: &mut LineData, offset: usize, width: Width, value: u64) {
     let n = width.bytes();
-    assert!(offset + n <= LINE_BYTES, "scalar write crosses line boundary");
+    assert!(
+        offset + n <= LINE_BYTES,
+        "scalar write crosses line boundary"
+    );
     for i in 0..n {
         line[offset + i] = (value >> (8 * i)) as u8;
     }
@@ -317,7 +323,11 @@ mod tests {
         assert_eq!(read_scalar(&line, 0, Width::B8), 8);
         let old = apply_amo(&mut line, 0, Width::B8, AmoOp::Cas, 99, 7);
         assert_eq!(old, 8, "failed CAS returns current value");
-        assert_eq!(read_scalar(&line, 0, Width::B8), 8, "failed CAS writes nothing");
+        assert_eq!(
+            read_scalar(&line, 0, Width::B8),
+            8,
+            "failed CAS writes nothing"
+        );
     }
 
     #[test]
@@ -326,7 +336,14 @@ mod tests {
         write_scalar(&mut line, 0, Width::B4, (-5i32) as u32 as u64);
         apply_amo(&mut line, 0, Width::B4, AmoOp::Max, 3, 0);
         assert_eq!(read_scalar(&line, 0, Width::B4) as u32 as i32, 3);
-        apply_amo(&mut line, 0, Width::B4, AmoOp::Min, (-9i32) as u32 as u64, 0);
+        apply_amo(
+            &mut line,
+            0,
+            Width::B4,
+            AmoOp::Min,
+            (-9i32) as u32 as u64,
+            0,
+        );
         assert_eq!(read_scalar(&line, 0, Width::B4) as u32 as i32, -9);
     }
 

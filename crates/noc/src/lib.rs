@@ -36,7 +36,7 @@
 //! assert_eq!(msg.payload, "hello");
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use duet_sim::{Clock, Fifo, PushError, Time};
 
@@ -119,7 +119,13 @@ enum Port {
 }
 
 const PORT_COUNT: usize = 5;
-const PORTS: [Port; PORT_COUNT] = [Port::North, Port::South, Port::East, Port::West, Port::Local];
+const PORTS: [Port; PORT_COUNT] = [
+    Port::North,
+    Port::South,
+    Port::East,
+    Port::West,
+    Port::Local,
+];
 
 /// Mesh configuration.
 #[derive(Clone, Copy, Debug)]
@@ -207,11 +213,10 @@ pub struct MeshStats {
 impl MeshStats {
     /// Mean in-network latency per delivered message.
     pub fn mean_latency(&self) -> Time {
-        if self.delivered == 0 {
-            Time::ZERO
-        } else {
-            Time::from_ps(self.total_latency.as_ps() / self.delivered)
-        }
+        self.total_latency
+            .as_ps()
+            .checked_div(self.delivered)
+            .map_or(Time::ZERO, Time::from_ps)
     }
 }
 
@@ -221,6 +226,18 @@ pub struct Mesh<P> {
     routers: Vec<Router<P>>,
     eject: Vec<[VecDeque<Message<P>>; VNET_COUNT]>,
     stats: MeshStats,
+    /// Worklist of routers with at least one buffered input message. An idle
+    /// router is a provable no-op in [`tick`](Mesh::tick) (round-robin
+    /// pointers only move when a message is chosen, `out_busy` is only
+    /// compared against `now`), so ticking only this set is bit-identical to
+    /// scanning every router. Kept sorted so iteration order matches the
+    /// original ascending scan.
+    active: BTreeSet<NodeId>,
+    /// Scratch buffer for the per-tick snapshot of `active` (avoids a fresh
+    /// allocation every tick).
+    scratch: Vec<NodeId>,
+    /// Total messages sitting in ejection queues (all nodes, all vnets).
+    eject_pending: usize,
 }
 
 impl<P> Mesh<P> {
@@ -248,6 +265,9 @@ impl<P> Mesh<P> {
             routers,
             eject,
             stats: MeshStats::default(),
+            active: BTreeSet::new(),
+            scratch: Vec::new(),
+            eject_pending: 0,
         }
     }
 
@@ -284,12 +304,22 @@ impl<P> Mesh<P> {
         let node = msg.src;
         self.routers[node].inputs[Port::Local as usize][vnet].push(now, msg)?;
         self.stats.injected += 1;
+        self.active.insert(node);
         Ok(())
     }
 
     /// Removes the next delivered message for `node` on `vnet`, if any.
     pub fn eject(&mut self, node: NodeId, vnet: VNet) -> Option<Message<P>> {
-        self.eject[node][vnet.index()].pop_front()
+        let m = self.eject[node][vnet.index()].pop_front();
+        if m.is_some() {
+            self.eject_pending -= 1;
+        }
+        m
+    }
+
+    /// Whether any delivered message is waiting in an ejection queue.
+    pub fn has_ejections(&self) -> bool {
+        self.eject_pending > 0
     }
 
     /// Peeks the next delivered message for `node` on `vnet`.
@@ -303,13 +333,42 @@ impl<P> Mesh<P> {
     }
 
     /// True when no message is buffered anywhere in the network (ejection
-    /// queues included).
+    /// queues included). O(1): the active worklist tracks exactly the routers
+    /// with buffered inputs, and `eject_pending` counts ejection-queue
+    /// occupancy.
     pub fn is_idle(&self) -> bool {
-        self.routers.iter().all(|r| {
-            r.inputs
-                .iter()
-                .all(|per_port| per_port.iter().all(|q| q.is_empty()))
-        }) && self.eject.iter().all(|e| e.iter().all(|q| q.is_empty()))
+        self.active.is_empty() && self.eject_pending == 0
+    }
+
+    /// The earliest time the mesh itself can make progress, or `None` when it
+    /// is completely drained (ejection queues included).
+    ///
+    /// If any router holds a message that is already visible (it may have
+    /// lost arbitration or been blocked this cycle), progress is possible at
+    /// the very next router clock edge. Otherwise nothing can move before the
+    /// earliest `ready_at` among buffered messages: fronts have the minimum
+    /// `ready_at` of their queue (pushes are time-ordered with constant
+    /// latency) and `out_busy` expiry alone moves nothing.
+    pub fn next_event_time(&self, now: Time) -> Option<Time> {
+        if self.eject_pending > 0 {
+            return Some(now);
+        }
+        let mut earliest: Option<Time> = None;
+        for &node in &self.active {
+            for per_port in &self.routers[node].inputs {
+                for q in per_port {
+                    if let Some(ready) = q.front_ready_at() {
+                        let cand = if ready <= now {
+                            self.cfg.clock.next_edge_after(now)
+                        } else {
+                            ready
+                        };
+                        earliest = Some(earliest.map_or(cand, |e: Time| e.min(cand)));
+                    }
+                }
+            }
+        }
+        earliest
     }
 
     /// XY routing: returns the output port at router `at` toward `dst`.
@@ -348,9 +407,17 @@ impl<P> Mesh<P> {
     /// round-robin over input-port/vnet pairs), honoring link serialization
     /// (`flits` cycles per link) and downstream buffer space.
     pub fn tick(&mut self, now: Time) {
-        let nodes = self.cfg.nodes();
         let period = self.cfg.clock.period();
-        for node in 0..nodes {
+        // Snapshot the active set in ascending order: identical visit order
+        // to the original 0..nodes scan restricted to routers that can act.
+        // Messages pushed to a neighbor during this tick are not visible
+        // until at least the next edge (`hop_latency` ≥ one period), so
+        // re-activating a neighbor mid-tick never changes this tick's
+        // behavior, whichever side of `node` it is on.
+        let mut worklist = std::mem::take(&mut self.scratch);
+        worklist.clear();
+        worklist.extend(self.active.iter().copied());
+        for &node in &worklist {
             for &out in &PORTS {
                 let o = out as usize;
                 if self.routers[node].out_busy[o] > now {
@@ -392,14 +459,24 @@ impl<P> Mesh<P> {
                     self.stats.delivered_flits += u64::from(msg.flits);
                     self.stats.total_latency += now.saturating_sub(msg.injected_at);
                     self.eject[node][vn].push_back(msg);
+                    self.eject_pending += 1;
                 } else {
                     let (nb, in_port) = self.neighbor(node, out);
                     self.routers[nb].inputs[in_port as usize][vn]
                         .push(now, msg)
                         .expect("space was checked");
+                    self.active.insert(nb);
                 }
             }
+            let drained = self.routers[node]
+                .inputs
+                .iter()
+                .all(|per_port| per_port.iter().all(|q| q.is_empty()));
+            if drained {
+                self.active.remove(&node);
+            }
         }
+        self.scratch = worklist;
     }
 }
 
@@ -416,7 +493,7 @@ mod tests {
     ) -> (Time, Message<P>) {
         let mut t = start;
         for _ in 0..max_cycles {
-            t = t + Time::from_ps(1000);
+            t += Time::from_ps(1000);
             mesh.tick(t);
             if let Some(m) = mesh.eject(node, vnet) {
                 return (t, m);
@@ -430,7 +507,8 @@ mod tests {
         let cfg = MeshConfig::new(2, 1, Clock::ghz1());
         let mut mesh: Mesh<u32> = Mesh::new(cfg);
         let t0 = Time::from_ps(1000);
-        mesh.inject(t0, Message::new(0, 1, VNet::Req, 1, 7)).unwrap();
+        mesh.inject(t0, Message::new(0, 1, VNet::Req, 1, 7))
+            .unwrap();
         let (_, m) = step_until(&mut mesh, t0, 1, VNet::Req, 10);
         assert_eq!(m.payload, 7);
         assert_eq!(mesh.stats().delivered, 1);
@@ -441,7 +519,8 @@ mod tests {
         let cfg = MeshConfig::new(2, 2, Clock::ghz1());
         let mut mesh: Mesh<u32> = Mesh::new(cfg);
         let t0 = Time::from_ps(1000);
-        mesh.inject(t0, Message::new(2, 2, VNet::Resp, 1, 42)).unwrap();
+        mesh.inject(t0, Message::new(2, 2, VNet::Resp, 1, 42))
+            .unwrap();
         let (_, m) = step_until(&mut mesh, t0, 2, VNet::Resp, 10);
         assert_eq!(m.payload, 42);
     }
@@ -452,11 +531,14 @@ mod tests {
         let cfg = MeshConfig::new(4, 4, Clock::ghz1());
         let mut mesh: Mesh<u32> = Mesh::new(cfg);
         let t0 = Time::from_ps(1000);
-        mesh.inject(t0, Message::new(0, 15, VNet::Req, 1, 0)).unwrap();
+        mesh.inject(t0, Message::new(0, 15, VNet::Req, 1, 0))
+            .unwrap();
         let (t_far, _) = step_until(&mut mesh, t0, 15, VNet::Req, 40);
 
         let mut mesh2: Mesh<u32> = Mesh::new(cfg);
-        mesh2.inject(t0, Message::new(0, 1, VNet::Req, 1, 0)).unwrap();
+        mesh2
+            .inject(t0, Message::new(0, 1, VNet::Req, 1, 0))
+            .unwrap();
         let (t_near, _) = step_until(&mut mesh2, t0, 1, VNet::Req, 40);
         assert!(t_far > t_near, "corner-to-corner must take longer");
         // 6 hops at 1 cycle/hop + ejection arbitration.
@@ -496,7 +578,7 @@ mod tests {
             while let Some(m) = mesh.eject(3, VNet::Req) {
                 received.push(m.payload);
             }
-            t = t + Time::from_ps(1000);
+            t += Time::from_ps(1000);
             cycles += 1;
             assert!(cycles < 1000, "deadlock");
         }
@@ -510,10 +592,12 @@ mod tests {
         let mut mesh: Mesh<u32> = Mesh::new(cfg);
         let t0 = Time::from_ps(1000);
         // Fill Req local buffer (depth 1) without ticking.
-        mesh.inject(t0, Message::new(0, 1, VNet::Req, 8, 1)).unwrap();
+        mesh.inject(t0, Message::new(0, 1, VNet::Req, 8, 1))
+            .unwrap();
         assert!(!mesh.can_inject(0, VNet::Req));
         assert!(mesh.can_inject(0, VNet::Resp));
-        mesh.inject(t0, Message::new(0, 1, VNet::Resp, 1, 2)).unwrap();
+        mesh.inject(t0, Message::new(0, 1, VNet::Resp, 1, 2))
+            .unwrap();
         let (_, m) = step_until(&mut mesh, t0, 1, VNet::Resp, 20);
         assert_eq!(m.payload, 2);
     }
@@ -525,8 +609,10 @@ mod tests {
         let cfg = MeshConfig::new(2, 1, Clock::ghz1());
         let mut mesh: Mesh<u32> = Mesh::new(cfg);
         let t0 = Time::from_ps(1000);
-        mesh.inject(t0, Message::new(0, 1, VNet::Resp, 3, 1)).unwrap();
-        mesh.inject(t0, Message::new(0, 1, VNet::Resp, 3, 2)).unwrap();
+        mesh.inject(t0, Message::new(0, 1, VNet::Resp, 3, 1))
+            .unwrap();
+        mesh.inject(t0, Message::new(0, 1, VNet::Resp, 3, 2))
+            .unwrap();
         let (t1, m1) = step_until(&mut mesh, t0, 1, VNet::Resp, 20);
         assert_eq!(m1.payload, 1);
         let (t2, m2) = step_until(&mut mesh, t1, 1, VNet::Resp, 20);
@@ -570,7 +656,7 @@ mod tests {
                 per_src_last[s] = i as i64;
                 got += 1;
             }
-            t = t + Time::from_ps(1000);
+            t += Time::from_ps(1000);
             if got == 80 {
                 break;
             }
@@ -584,7 +670,8 @@ mod tests {
         let cfg = MeshConfig::new(2, 1, Clock::ghz1());
         let mut mesh: Mesh<u32> = Mesh::new(cfg);
         let t0 = Time::from_ps(1000);
-        mesh.inject(t0, Message::new(0, 1, VNet::Req, 2, 0)).unwrap();
+        mesh.inject(t0, Message::new(0, 1, VNet::Req, 2, 0))
+            .unwrap();
         step_until(&mut mesh, t0, 1, VNet::Req, 10);
         let s = mesh.stats();
         assert_eq!(s.injected, 1);
@@ -606,5 +693,53 @@ mod tests {
     #[should_panic(expected = "a message is at least one flit")]
     fn zero_flit_message_panics() {
         let _ = Message::new(0, 1, VNet::Req, 0, ());
+    }
+
+    #[test]
+    fn active_set_drains_to_idle() {
+        let cfg = MeshConfig::new(4, 4, Clock::ghz1());
+        let mut mesh: Mesh<u32> = Mesh::new(cfg);
+        assert!(mesh.is_idle());
+        assert_eq!(mesh.next_event_time(Time::from_ps(1000)), None);
+        let t0 = Time::from_ps(1000);
+        mesh.inject(t0, Message::new(0, 15, VNet::Req, 1, 9))
+            .unwrap();
+        assert!(!mesh.is_idle());
+        // Head not yet visible: next event is its ready time, not the next edge.
+        assert_eq!(mesh.next_event_time(t0), Some(Time::from_ps(2000)));
+        let mut t = t0;
+        let m = loop {
+            t += Time::from_ps(1000);
+            mesh.tick(t);
+            if mesh.has_ejections() {
+                break mesh.eject(15, VNet::Req).unwrap();
+            }
+            assert!(t < Time::from_ps(40_000), "not delivered");
+        };
+        assert_eq!(m.payload, 9);
+        assert!(mesh.is_idle());
+        assert_eq!(mesh.next_event_time(t), None);
+        // Idle ticks after drain stay idle (and are cheap no-ops).
+        for _ in 0..4 {
+            t += Time::from_ps(1000);
+            mesh.tick(t);
+        }
+        assert!(mesh.is_idle());
+    }
+
+    #[test]
+    fn visible_but_blocked_head_reports_next_edge() {
+        // Two messages race for the same link: the loser stays visible, so
+        // the next event must be the next clock edge.
+        let cfg = MeshConfig::new(2, 1, Clock::ghz1());
+        let mut mesh: Mesh<u32> = Mesh::new(cfg);
+        let t0 = Time::from_ps(1000);
+        mesh.inject(t0, Message::new(0, 1, VNet::Req, 4, 1))
+            .unwrap();
+        mesh.inject(t0, Message::new(0, 1, VNet::Resp, 4, 2))
+            .unwrap();
+        let t1 = Time::from_ps(2000);
+        mesh.tick(t1); // one wins, the other stays visible
+        assert_eq!(mesh.next_event_time(t1), Some(Time::from_ps(3000)));
     }
 }

@@ -74,7 +74,7 @@ impl Clock {
     /// Whether `t` falls exactly on a rising edge of this clock.
     pub fn is_edge(&self, t: Time) -> bool {
         let ps = t.as_ps();
-        ps >= self.offset_ps && (ps - self.offset_ps) % self.period_ps == 0
+        ps >= self.offset_ps && (ps - self.offset_ps).is_multiple_of(self.period_ps)
     }
 
     /// The earliest rising edge at or after `t`.
@@ -189,6 +189,17 @@ impl DualClock {
         self.now
     }
 
+    /// The next slow-domain edge [`next_edge`](DualClock::next_edge) could
+    /// return, without advancing (used to cap dead-edge skipping when the
+    /// slow domain has per-edge work).
+    pub fn next_slow_edge(&self) -> Time {
+        if self.started {
+            self.slow.next_edge_after(self.now)
+        } else {
+            self.slow.edge_at_or_after(self.now)
+        }
+    }
+
     /// Advances to the next edge in either domain and reports which
     /// domain(s) tick there.
     pub fn next_edge(&mut self) -> (Time, EdgeDomain) {
@@ -212,6 +223,49 @@ impl DualClock {
         };
         self.now = t;
         (t, d)
+    }
+
+    /// Jumps both domains forward so the next [`next_edge`](DualClock::next_edge)
+    /// returns the first merged edge at or after `t`, and reports how many
+    /// `(fast, slow)` edges were skipped over in the process.
+    ///
+    /// Edges strictly after the current position and strictly **before** `t`
+    /// are counted as skipped; an edge exactly at `t` is not skipped — it is
+    /// the next edge to be executed. Calling with `t` at or before the current
+    /// position is a no-op returning `(0, 0)`.
+    ///
+    /// This is the primitive behind dead-edge skipping: the caller proves that
+    /// nothing observable happens before `t`, jumps there, and reconstructs
+    /// per-domain edge counters from the returned skip counts so statistics
+    /// stay bit-identical with edge-by-edge stepping.
+    pub fn advance_to(&mut self, t: Time) -> (u64, u64) {
+        if t <= self.now {
+            return (0, 0);
+        }
+        // Position just before `t` so the next merged edge is the first one
+        // at or after `t`. Edges in (now, t) are the skipped ones; counting
+        // with the inclusive cycle counter at `t - 1ps` captures exactly that
+        // half-open interval.
+        let upto = Time::from_ps(t.as_ps() - 1);
+        let fast = if self.started {
+            self.fast.cycles_at(upto) - self.fast.cycles_at(self.now)
+        } else {
+            // Before the first next_edge() the edge at `now` itself has not
+            // executed, so it too counts as skipped if it lies before `t`.
+            let base = self.fast.cycles_at(self.now);
+            let adj = if self.fast.is_edge(self.now) { 1 } else { 0 };
+            self.fast.cycles_at(upto) - (base - adj.min(base))
+        };
+        let slow = if self.started {
+            self.slow.cycles_at(upto) - self.slow.cycles_at(self.now)
+        } else {
+            let base = self.slow.cycles_at(self.now);
+            let adj = if self.slow.is_edge(self.now) { 1 } else { 0 };
+            self.slow.cycles_at(upto) - (base - adj.min(base))
+        };
+        self.now = upto;
+        self.started = true;
+        (fast, slow)
     }
 }
 
@@ -292,6 +346,61 @@ mod tests {
             }
         }
         assert!(slow_edges > 20 && slow_edges < 30);
+    }
+
+    #[test]
+    fn advance_to_matches_stepping() {
+        // Reference: step edge-by-edge and count; then advance in one jump.
+        let mk = || DualClock::new(Clock::ghz1(), Clock::from_mhz(300.0));
+        for target_ps in [1000, 1001, 3333, 10_000, 12_345] {
+            let target = Time::from_ps(target_ps);
+            let mut stepped = mk();
+            let mut fast = 0u64;
+            let mut slow = 0u64;
+            loop {
+                let mut probe = stepped.clone();
+                let (t, d) = probe.next_edge();
+                if t >= target {
+                    break;
+                }
+                stepped = probe;
+                if d.fast() {
+                    fast += 1;
+                }
+                if d.slow() {
+                    slow += 1;
+                }
+            }
+            let mut jumped = mk();
+            assert_eq!(
+                jumped.advance_to(target),
+                (fast, slow),
+                "target {target_ps}"
+            );
+            // The subsequent edge sequences must be identical.
+            for _ in 0..10 {
+                assert_eq!(jumped.next_edge(), stepped.next_edge());
+            }
+        }
+    }
+
+    #[test]
+    fn advance_to_past_is_noop() {
+        let mut dc = DualClock::new(Clock::ghz1(), Clock::from_mhz(500.0));
+        let (t, _) = dc.next_edge();
+        assert_eq!(dc.advance_to(t), (0, 0));
+        assert_eq!(dc.advance_to(Time::ZERO), (0, 0));
+        assert_eq!(dc.next_edge().0.as_ps(), 2000);
+    }
+
+    #[test]
+    fn advance_to_edge_at_target_not_skipped() {
+        let mut dc = DualClock::new(Clock::ghz1(), Clock::from_mhz(500.0));
+        // Edges before 4000: fast 1000,2000,3000; slow 2000. 4000 itself runs.
+        assert_eq!(dc.advance_to(Time::from_ps(4000)), (3, 1));
+        let (t, d) = dc.next_edge();
+        assert_eq!(t.as_ps(), 4000);
+        assert_eq!(d, EdgeDomain::Both);
     }
 
     #[test]

@@ -115,6 +115,13 @@ impl<T> Fifo<T> {
         }
     }
 
+    /// The time at which the front entry becomes visible to `pop`, if any
+    /// entry is buffered. Used by event-horizon scheduling to bound the next
+    /// time this FIFO can make progress.
+    pub fn front_ready_at(&self) -> Option<Time> {
+        self.slots.front().map(|s| s.ready_at)
+    }
+
     /// Drains every entry regardless of visibility (used on reset/flush).
     pub fn clear(&mut self) {
         self.slots.clear();
@@ -381,7 +388,7 @@ mod tests {
         let mut out = Vec::new();
         let mut t = ps(0);
         while out.len() < 50 {
-            t = t + ps(500);
+            t += ps(500);
             if let Some(v) = f.pop(t) {
                 out.push(v);
             }

@@ -69,6 +69,7 @@ impl Time {
     }
 
     /// Multiplies a duration by an integer count.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, n: u64) -> Time {
         Time(self.0 * n)
     }

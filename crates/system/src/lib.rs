@@ -42,6 +42,7 @@
 //! ```
 
 pub mod config;
+pub mod metrics;
 pub mod system;
 
 pub use config::{SystemConfig, Variant};

@@ -77,7 +77,7 @@ impl SoftAccelerator for LineSummer {
         let now = ports.now;
         self.regs.tick(now, &mut ports.regs);
         if self.addr.is_none() {
-            self.addr = self.regs.pop_write(0).map(|v| v);
+            self.addr = self.regs.pop_write(0);
         }
         if let Some(r) = ports.hubs[0].pop_resp(now) {
             if let FpgaRespKind::LoadAck { data } = r.kind {
@@ -272,7 +272,11 @@ fn page_fault_is_serviced_by_the_os_stub() {
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
     sys.run_until_halt(Time::from_us(500));
     sys.quiesce(Time::from_us(600));
-    assert_eq!(sys.peek_u64(0x7000), 16, "access completed after TLB refill");
+    assert_eq!(
+        sys.peek_u64(0x7000),
+        16,
+        "access completed after TLB refill"
+    );
     assert_eq!(sys.stats().page_faults, 1, "exactly one fault serviced");
 }
 

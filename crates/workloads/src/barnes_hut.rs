@@ -89,8 +89,9 @@ fn build_rec(
     let mass: f64 = idx.iter().map(|&i| particles[i as usize].mass).sum();
     let mut com = [0.0; 3];
     for &i in idx {
-        for d in 0..3 {
-            com[d] += particles[i as usize].pos[d] * particles[i as usize].mass;
+        let p = &particles[i as usize];
+        for (c, x) in com.iter_mut().zip(p.pos) {
+            *c += x * p.mass;
         }
     }
     for c in com.iter_mut() {
@@ -253,8 +254,8 @@ impl BhAccel {
             ];
             let mass = f64_at(&fl.line1, 8);
             let f = kernel(self.pos[fl.core], com, mass);
-            for d in 0..3 {
-                self.acc[fl.core][d] += f[d];
+            for (a, fd) in self.acc[fl.core].iter_mut().zip(f) {
+                *a += fd;
             }
         }
         self.outstanding[fl.core] -= 1;
@@ -279,11 +280,7 @@ impl SoftAccelerator for BhAccel {
         while let Some(resp) = ports.hubs[0].pop_resp(now) {
             if let FpgaRespKind::LoadAck { data } = resp.kind {
                 let slot = resp.id >> 1;
-                if let Some(pos) = self
-                    .inflight
-                    .iter()
-                    .position(|f| f.addr == slot)
-                {
+                if let Some(pos) = self.inflight.iter().position(|f| f.addr == slot) {
                     let fl = &mut self.inflight[pos];
                     if resp.id & 1 == 0 {
                         fl.line0 = data;
@@ -449,7 +446,7 @@ fn emit_traversal(a: &mut Asm, layout: &BhLayout, interact_label: &str) {
     // leaf field
     a.lwu(regs::T[2], regs::S[4], 40);
     a.beq(regs::T[2], i, "walk"); // self-interaction: skip
-    // d2 = |com - p|^2
+                                  // d2 = |com - p|^2
     a.ld(regs::T[3], regs::S[4], 0);
     a.fsub(regs::T[3], regs::T[3], px);
     a.fmul(regs::T[3], regs::T[3], regs::T[3]);
@@ -461,7 +458,7 @@ fn emit_traversal(a: &mut Asm, layout: &BhLayout, interact_label: &str) {
     a.fsub(regs::T[4], regs::T[4], pz);
     a.fmul(regs::T[4], regs::T[4], regs::T[4]);
     a.fadd(regs::T[3], regs::T[3], regs::T[4]); // d2
-    // Leaf (of another particle): always interact.
+                                                // Leaf (of another particle): always interact.
     a.li(regs::T[5], NOT_LEAF as i64);
     a.bne(regs::T[2], regs::T[5], "interact_site");
     // size2 <= theta2 * d2 ?
@@ -707,8 +704,14 @@ mod tests {
     fn reference_forces_attract() {
         // Two particles attract each other along the connecting line.
         let ps = vec![
-            Particle { pos: [0.25, 0.5, 0.5], mass: 1.0 },
-            Particle { pos: [0.75, 0.5, 0.5], mass: 1.0 },
+            Particle {
+                pos: [0.25, 0.5, 0.5],
+                mass: 1.0,
+            },
+            Particle {
+                pos: [0.75, 0.5, 0.5],
+                mass: 1.0,
+            },
         ];
         let nodes = build_octree(&ps);
         let f = forces_ref(&ps, &nodes);

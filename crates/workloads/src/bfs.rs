@@ -303,7 +303,10 @@ pub fn run(variant: BenchVariant, p: usize, v: u32, avg_deg: u32, seed: u64) -> 
     let expected = g.bfs_ref();
     let mut sys = System::new(variant.system_config(p, 0, BFS_MHZ));
     for (u, &(off, deg)) in g.offsets.iter().enumerate() {
-        sys.poke_u64(layout.offsets + (u as u64) * 8, u64::from(off) | (u64::from(deg) << 32));
+        sys.poke_u64(
+            layout.offsets + (u as u64) * 8,
+            u64::from(off) | (u64::from(deg) << 32),
+        );
     }
     for (e, &d) in g.dests.iter().enumerate() {
         sys.poke_bytes(layout.dests + (e as u64) * 4, &d.to_le_bytes());
@@ -398,13 +401,8 @@ pub fn run(variant: BenchVariant, p: usize, v: u32, avg_deg: u32, seed: u64) -> 
             sys.attach_accelerator(Box::new(FrontierQueues::new(variant.push_mode(), p, 0)));
             let mut a = Asm::new();
             a.label("main");
-            let (enq_r, tok_r, data_r, idle_r, done_r) = (
-                regs::S[0],
-                regs::S[1],
-                regs::S[2],
-                regs::S[3],
-                regs::A[6],
-            );
+            let (enq_r, tok_r, data_r, idle_r, done_r) =
+                (regs::S[0], regs::S[1], regs::S[2], regs::S[3], regs::A[6]);
             a.li(enq_r, (base + 8 * q_reg::ENQ as u64) as i64);
             a.li(tok_r, (base + 8 * q_reg::TOKEN as u64) as i64);
             a.li(data_r, (base + 8 * q_reg::DATA as u64) as i64);

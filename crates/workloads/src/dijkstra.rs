@@ -267,11 +267,31 @@ impl MemPath {
 enum DjState {
     Idle,
     /// Linear scan for the minimum-distance unvisited node.
-    Scan { u: u32, best: u32, best_d: u32 },
-    Meta { u: u32 },
-    DistU { u: u32, off: u32, deg: u32 },
-    Edge { e: u32, end: u32, du: u32 },
-    EdgeDist { e: u32, end: u32, du: u32, dest: u32, wt: u32 },
+    Scan {
+        u: u32,
+        best: u32,
+        best_d: u32,
+    },
+    Meta {
+        u: u32,
+    },
+    DistU {
+        u: u32,
+        off: u32,
+        deg: u32,
+    },
+    Edge {
+        e: u32,
+        end: u32,
+        du: u32,
+    },
+    EdgeDist {
+        e: u32,
+        end: u32,
+        du: u32,
+        dest: u32,
+        wt: u32,
+    },
     Drain,
 }
 
@@ -426,18 +446,30 @@ impl DijkstraAccel {
                     let a = self.layout.edges + u64::from(e) * 8;
                     if let Some(dest) = self.mem.read_u32(now, a, hub) {
                         if let Some(wt) = self.mem.read_u32(now, a + 4, hub) {
-                            self.state = DjState::EdgeDist { e, end, du, dest, wt };
+                            self.state = DjState::EdgeDist {
+                                e,
+                                end,
+                                du,
+                                dest,
+                                wt,
+                            };
                         }
                     }
                     // Prefetch the next edge line (streaming access).
                     if e + 2 < end {
-                        let _ = self
-                            .mem
-                            .read_u32(now, self.layout.edges + u64::from(e + 2) * 8, hub);
+                        let _ =
+                            self.mem
+                                .read_u32(now, self.layout.edges + u64::from(e + 2) * 8, hub);
                     }
                 }
             }
-            DjState::EdgeDist { e, end, du, dest, wt } => {
+            DjState::EdgeDist {
+                e,
+                end,
+                du,
+                dest,
+                wt,
+            } => {
                 let a = self.layout.dist + u64::from(dest) * 4;
                 if let Some(dv) = self.mem.read_u32(now, a, hub) {
                     let nd = du.saturating_add(wt);

@@ -14,8 +14,8 @@ pub mod locks;
 pub mod pdes;
 pub mod popcount;
 pub mod sort;
-pub mod tangent;
 pub mod synthetic;
+pub mod tangent;
 
 pub use common::{AppResult, BenchVariant};
 pub use synthetic::{

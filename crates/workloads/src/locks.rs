@@ -276,4 +276,3 @@ mod tests {
         }
     }
 }
-

@@ -230,9 +230,8 @@ impl SoftAccelerator for TaskScheduler {
         // horizon only when everything earlier has drained (no outstanding
         // work, no records still in flight).
         if !self.done {
-            let can_advance = self.outstanding() == 0
-                && self.to_fetch.is_empty()
-                && self.in_flight.is_empty();
+            let can_advance =
+                self.outstanding() == 0 && self.to_fetch.is_empty() && self.in_flight.is_empty();
             let release = self
                 .queue
                 .get_mut(&self.cur_time)
@@ -243,11 +242,7 @@ impl SoftAccelerator for TaskScheduler {
                     self.regs.push_result(s_reg::DATA, packed);
                     self.regs.push_result(s_reg::TOKEN, 0);
                     self.delivered += 1;
-                    if self
-                        .queue
-                        .get(&self.cur_time)
-                        .is_some_and(|q| q.is_empty())
-                    {
+                    if self.queue.get(&self.cur_time).is_some_and(|q| q.is_empty()) {
                         self.queue.remove(&self.cur_time);
                     }
                 }
@@ -377,7 +372,7 @@ fn emit_process_event(a: &mut Asm, layout: &PdesLayout, id: &str, sched_label: &
     a.lwu(regs::S[6], regs::T[0], 8); // succ off
     a.lwu(regs::S[7], regs::T[0], 12); // succ cnt
     a.add(regs::S[7], regs::S[7], regs::S[6]); // end
-    // v = 1 - (out[in0] & out[in1])
+                                               // v = 1 - (out[in0] & out[in1])
     a.slli(regs::T[2], regs::T[2], 2);
     a.li(regs::T[4], layout.out as i64);
     a.add(regs::T[2], regs::T[2], regs::T[4]);
@@ -531,20 +526,11 @@ pub fn run(variant: BenchVariant, p: usize, width: u32, layers: u32, seed: u64) 
             sys.set_reg_mode(s_reg::DATA, RegMode::CpuBound);
             sys.set_reg_mode(s_reg::IDLE, RegMode::FpgaBound);
             sys.set_reg_mode(s_reg::DONE, RegMode::ShadowPlain);
-            sys.attach_accelerator(Box::new(TaskScheduler::new(
-                variant.push_mode(),
-                p,
-                &seeds,
-            )));
+            sys.attach_accelerator(Box::new(TaskScheduler::new(variant.push_mode(), p, &seeds)));
             let mut a = Asm::new();
             a.label("main");
-            let (enq_r, tok_r, data_r, idle_r, done_r) = (
-                regs::S[0],
-                regs::S[1],
-                regs::S[2],
-                regs::S[3],
-                regs::A[6],
-            );
+            let (enq_r, tok_r, data_r, idle_r, done_r) =
+                (regs::S[0], regs::S[1], regs::S[2], regs::S[3], regs::A[6]);
             a.li(enq_r, (base + 8 * s_reg::ENQ as u64) as i64);
             a.li(tok_r, (base + 8 * s_reg::TOKEN as u64) as i64);
             a.li(data_r, (base + 8 * s_reg::DATA as u64) as i64);

@@ -97,7 +97,10 @@ impl SoftAccelerator for PopcountAccel {
             // Drain fills.
             while let Some(resp) = ports.hubs[0].pop_resp(now) {
                 if let FpgaRespKind::LoadAck { data } = resp.kind {
-                    self.acc += data.iter().map(|b| u64::from(b.count_ones() as u8)).sum::<u64>();
+                    self.acc += data
+                        .iter()
+                        .map(|b| u64::from(b.count_ones() as u8))
+                        .sum::<u64>();
                     self.fills += 1;
                 }
             }
@@ -122,10 +125,10 @@ impl SoftAccelerator for PopcountAccel {
         NetlistSummary {
             name: "popcount",
             luts: 9420,
-                ffs: 13188,
-                bram_kbits: 3392,
-                mults: 0,
-                logic_levels: 2,
+            ffs: 13188,
+            bram_kbits: 3392,
+            mults: 0,
+            logic_levels: 2,
         }
     }
 
@@ -259,7 +262,11 @@ mod tests {
 
     #[test]
     fn all_variants_compute_correct_counts() {
-        for v in [BenchVariant::ProcOnly, BenchVariant::Duet, BenchVariant::Fpsoc] {
+        for v in [
+            BenchVariant::ProcOnly,
+            BenchVariant::Duet,
+            BenchVariant::Fpsoc,
+        ] {
             let r = run(v, 6, 42);
             assert!(r.correct, "{} produced wrong counts", v.label());
         }

@@ -329,9 +329,12 @@ fn emit_quicksort(a: &mut Asm, base_reg: duet_cpu::isa::Reg, n: u64, stack_base:
 /// Runs the sort benchmark: `n` u32 elements sorted in `slice`-element
 /// accelerator passes plus a CPU merge (or quicksort for the baseline).
 pub fn run(variant: BenchVariant, slice: u64, n: u64, seed: u64) -> AppResult {
-    assert!(n % slice == 0, "n must be a multiple of the slice size");
+    assert!(
+        n.is_multiple_of(slice),
+        "n must be a multiple of the slice size"
+    );
     let k = n / slice;
-    assert!(k >= 1 && k <= 8, "merge fan-in limited to 8 slices");
+    assert!((1..=8).contains(&k), "merge fan-in limited to 8 slices");
     let layout = SortLayout::new(n);
     let mut rng = SimRng::new(seed);
     let input: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
@@ -427,7 +430,7 @@ pub fn run(variant: BenchVariant, slice: u64, n: u64, seed: u64) -> AppResult {
                 a.ld(regs::T[2], regs::T[1], 0);
                 a.li(regs::T[3], slice as i64);
                 a.bgeu(regs::T[2], regs::T[3], "scan_next"); // slice drained
-                // v = slices[s*slice + idx]
+                                                             // v = slices[s*slice + idx]
                 a.li(regs::T[4], slice as i64);
                 a.mul(regs::T[5], s, regs::T[4]);
                 a.add(regs::T[5], regs::T[5], regs::T[2]);

@@ -237,15 +237,14 @@ impl SoftAccelerator for Scratchpad {
                     }
                 }
             }
-            SpState::OwnLine => {
+            SpState::OwnLine
                 // Issue exactly once: use id parity tracking via mem slot.
-                if self.mem[self.mem.len() - 1] == 0 {
+                if self.mem[self.mem.len() - 1] == 0 => {
                     let id = self.alloc_id();
                     if hub.store(now, id, self.buf_b, Width::B8, 0xFEED) {
                         self.mem[4095] = 1;
                     }
                 }
-            }
             SpState::Pulling { next, fills_left } => {
                 let lines = self.nwords.div_ceil(2);
                 if next < lines {
@@ -269,8 +268,8 @@ impl SoftAccelerator for Scratchpad {
                     }
                 }
             }
-            SpState::Pushing { next, acks_left } => {
-                if next < self.nwords {
+            SpState::Pushing { next, acks_left }
+                if next < self.nwords => {
                     let id = 1 << 20 | next;
                     let addr = self.buf_b + next * 8;
                     let value = self.mem[(next as usize) % self.mem.len()];
@@ -281,7 +280,6 @@ impl SoftAccelerator for Scratchpad {
                         };
                     }
                 }
-            }
             _ => {}
         }
 
@@ -302,6 +300,18 @@ impl SoftAccelerator for Scratchpad {
     fn reset(&mut self) {
         self.state = SpState::Idle;
         self.mem.fill(0);
+    }
+
+    fn is_idle(&self) -> bool {
+        // Quiet iff the state machine is parked, the register endpoint has
+        // no protocol work, and the two registers `tick` drains with
+        // `pop_write` (CMD dispatches, DATA echoes) hold no unconsumed
+        // writes. BUF_A/BUF_B/NWORDS are latch-only: their inboxes are
+        // never popped and carry no future work.
+        self.state == SpState::Idle
+            && self.regs.is_quiescent()
+            && !self.regs.has_pending_write(sp_reg::CMD)
+            && !self.regs.has_pending_write(sp_reg::DATA)
     }
 }
 
@@ -537,8 +547,8 @@ pub fn measure_latency(mechanism: Mechanism, fpga_mhz: f64) -> LatencyPoint {
             a.sd(regs::T[3], regs::T[2], 0);
             a.li(regs::T[2], reg_addr(base, sp_reg::BARRIER));
             a.ld(regs::T[4], regs::T[2], 0); // FPGA cache now owns the line
-            // Measured: one load that misses here and hits M in the
-            // FPGA-side cache.
+                                             // Measured: one load that misses here and hits M in the
+                                             // FPGA-side cache.
             a.rdcycle(regs::S[0]);
             a.ld(regs::T[5], regs::T[0], 0);
             a.rdcycle(regs::S[1]);

@@ -105,10 +105,10 @@ impl SoftAccelerator for TangentAccel {
         NetlistSummary {
             name: "tangent",
             luts: 1660,
-                ffs: 2324,
-                bram_kbits: 0,
-                mults: 2,
-                logic_levels: 2,
+            ffs: 2324,
+            bram_kbits: 0,
+            mults: 2,
+            logic_levels: 2,
         }
     }
 }
@@ -157,13 +157,7 @@ fn emit_tan_soft(a: &mut Asm) {
     // cos(r): 1 + r2*(-1/2 + r2*(1/24 + r2*(-1/720 + r2*(1/40320 -
     // r2/3628800))))
     a.lfd(acc, -1.0 / 3_628_800.0);
-    for c in [
-        1.0 / 40_320.0,
-        -1.0 / 720.0,
-        1.0 / 24.0,
-        -0.5,
-        1.0,
-    ] {
+    for c in [1.0 / 40_320.0, -1.0 / 720.0, 1.0 / 24.0, -0.5, 1.0] {
         a.fmul(acc, acc, r2);
         a.lfd(term, c);
         a.fadd(acc, acc, term);

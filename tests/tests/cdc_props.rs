@@ -1,42 +1,42 @@
-//! Property-based tests of the clock-domain-crossing model — the mechanism
-//! every Duet latency result rests on.
+//! Property-style tests of the clock-domain-crossing model — the mechanism
+//! every Duet latency result rests on. Cases are generated from a seeded
+//! [`SimRng`] so runs are reproducible without external dependencies.
 
-use duet_sim::{AsyncFifo, Clock, Time};
-use proptest::prelude::*;
+use duet_sim::{AsyncFifo, Clock, SimRng, Time};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn mhz_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
 
-    /// An entry is never visible before the `sync_stages`-th consumer edge
-    /// strictly after its push, and becomes visible exactly there.
-    #[test]
-    fn synchronizer_delay_is_exact(
-        prod_mhz in 20.0f64..1000.0,
-        cons_mhz in 20.0f64..1000.0,
-        stages in 1u32..4,
-        push_edge in 1u64..50,
-    ) {
-        let prod = Clock::from_mhz(prod_mhz);
-        let cons = Clock::from_mhz(cons_mhz);
+/// An entry is never visible before the `sync_stages`-th consumer edge
+/// strictly after its push, and becomes visible exactly there.
+#[test]
+fn synchronizer_delay_is_exact() {
+    let mut rng = SimRng::new(0xCDC0);
+    for _ in 0..64 {
+        let prod = Clock::from_mhz(mhz_in(&mut rng, 20.0, 1000.0));
+        let cons = Clock::from_mhz(mhz_in(&mut rng, 20.0, 1000.0));
+        let stages = rng.gen_range(1..4) as u32;
+        let push_edge = rng.gen_range(1..50);
         let mut f: AsyncFifo<u32> = AsyncFifo::new(8, stages, prod, cons);
         let t_push = Time::from_ps(prod.period().as_ps() * push_edge);
         f.push(t_push, 7).unwrap();
         let visible = cons.nth_edge_after(t_push, stages);
         let just_before = Time::from_ps(visible.as_ps() - 1);
-        prop_assert!(f.front(just_before).is_none(), "visible too early");
-        prop_assert!(f.front(visible).is_some(), "not visible at the edge");
+        assert!(f.front(just_before).is_none(), "visible too early");
+        assert!(f.front(visible).is_some(), "not visible at the edge");
     }
+}
 
-    /// FIFO order is preserved for any interleaving of pushes and pops.
-    #[test]
-    fn order_preserved_under_random_polling(
-        prod_mhz in 50.0f64..1000.0,
-        cons_mhz in 50.0f64..1000.0,
-        n in 1usize..40,
-        poll_step in 100u64..5000,
-    ) {
-        let prod = Clock::from_mhz(prod_mhz);
-        let cons = Clock::from_mhz(cons_mhz);
+/// FIFO order is preserved for any interleaving of pushes and pops.
+#[test]
+fn order_preserved_under_random_polling() {
+    let mut rng = SimRng::new(0xCDC1);
+    for _ in 0..64 {
+        let prod = Clock::from_mhz(mhz_in(&mut rng, 50.0, 1000.0));
+        let cons = Clock::from_mhz(mhz_in(&mut rng, 50.0, 1000.0));
+        let n = rng.gen_range(1..40) as usize;
+        let poll_step = rng.gen_range(100..5000);
         let mut f: AsyncFifo<usize> = AsyncFifo::new(64, 2, prod, cons);
         let mut t = prod.first_edge();
         for i in 0..n {
@@ -47,42 +47,45 @@ proptest! {
         let mut poll = Time::ZERO;
         let mut guard = 0;
         while out.len() < n {
-            poll = poll + Time::from_ps(poll_step);
+            poll += Time::from_ps(poll_step);
             while let Some(v) = f.pop(poll) {
                 out.push(v);
             }
             guard += 1;
-            prop_assert!(guard < 1_000_000, "items never delivered");
+            assert!(guard < 1_000_000, "items never delivered");
         }
-        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
     }
+}
 
-    /// Capacity is never exceeded, and the producer eventually sees freed
-    /// space after pops (bounded by the backpressure synchronizer).
-    #[test]
-    fn producer_occupancy_bounds(
-        cap in 1usize..8,
-        ops in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Capacity is never exceeded, and the producer eventually sees freed
+/// space after pops (bounded by the backpressure synchronizer).
+#[test]
+fn producer_occupancy_bounds() {
+    let mut rng = SimRng::new(0xCDC2);
+    for _ in 0..64 {
+        let cap = rng.gen_range(1..8) as usize;
+        let n_ops = rng.gen_range(1..100) as usize;
         let prod = Clock::ghz1();
         let cons = Clock::from_mhz(100.0);
         let mut f: AsyncFifo<u8> = AsyncFifo::new(cap, 2, prod, cons);
         let mut t = Time::ZERO;
         let mut pushed = 0u32;
         let mut popped = 0u32;
-        for &do_push in &ops {
-            t = t + Time::from_ps(1500);
+        for _ in 0..n_ops {
+            let do_push = rng.next_bool();
+            t += Time::from_ps(1500);
             if do_push {
                 if f.can_push(t) {
                     f.push(t, 0).unwrap();
                     pushed += 1;
                 }
-                prop_assert!(f.producer_occupancy(t) <= cap);
+                assert!(f.producer_occupancy(t) <= cap);
             } else if f.pop(t).is_some() {
                 popped += 1;
             }
-            prop_assert!(popped <= pushed);
-            prop_assert!(f.len() as u32 == pushed - popped);
+            assert!(popped <= pushed);
+            assert!(f.len() as u32 == pushed - popped);
         }
     }
 }

@@ -1,38 +1,61 @@
-//! Property-based tests of the directory-MESI protocol: random operation
+//! Property-style tests of the directory-MESI protocol: random operation
 //! sequences through multiple private caches on a real mesh must behave
 //! like a flat memory — and uphold the single-writer/multiple-reader
-//! invariant at every step.
+//! invariant at every step. Cases are generated from a seeded [`SimRng`].
 
 use std::collections::HashMap;
 
 use duet_mem::priv_cache::CacheConfig;
 use duet_mem::testkit::ProtocolHarness;
 use duet_mem::types::{AmoOp, LineAddr, MemReq, Width};
-use duet_sim::Clock;
-use proptest::prelude::*;
+use duet_sim::{Clock, SimRng};
 
 #[derive(Clone, Debug)]
 enum Op {
-    Load { cache: usize, slot: u64 },
-    Store { cache: usize, slot: u64, value: u64 },
-    AmoAdd { cache: usize, slot: u64, value: u64 },
-    Cas { cache: usize, slot: u64, expected: u64, value: u64 },
+    Load {
+        cache: usize,
+        slot: u64,
+    },
+    Store {
+        cache: usize,
+        slot: u64,
+        value: u64,
+    },
+    AmoAdd {
+        cache: usize,
+        slot: u64,
+        value: u64,
+    },
+    Cas {
+        cache: usize,
+        slot: u64,
+        expected: u64,
+        value: u64,
+    },
 }
 
-fn op_strategy(caches: usize, slots: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..caches, 0..slots).prop_map(|(c, s)| Op::Load { cache: c, slot: s }),
-        (0..caches, 0..slots, any::<u64>())
-            .prop_map(|(c, s, v)| Op::Store { cache: c, slot: s, value: v }),
-        (0..caches, 0..slots, 0..1000u64)
-            .prop_map(|(c, s, v)| Op::AmoAdd { cache: c, slot: s, value: v }),
-        (0..caches, 0..slots, any::<u64>(), any::<u64>()).prop_map(|(c, s, e, v)| Op::Cas {
-            cache: c,
-            slot: s,
-            expected: e,
-            value: v
-        }),
-    ]
+fn random_op(rng: &mut SimRng, caches: usize, slots: u64) -> Op {
+    let cache = rng.next_below(caches as u64) as usize;
+    let slot = rng.next_below(slots);
+    match rng.next_below(4) {
+        0 => Op::Load { cache, slot },
+        1 => Op::Store {
+            cache,
+            slot,
+            value: rng.next_u64(),
+        },
+        2 => Op::AmoAdd {
+            cache,
+            slot,
+            value: rng.next_below(1000),
+        },
+        _ => Op::Cas {
+            cache,
+            slot,
+            expected: rng.next_u64(),
+            value: rng.next_u64(),
+        },
+    }
 }
 
 /// Slots spread over conflicting lines: a tiny 2-set/2-way cache forces
@@ -41,12 +64,13 @@ fn slot_addr(slot: u64) -> u64 {
     0x1000 + slot * 40 // crosses lines and sets
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Sequentially-issued random traffic equals a flat memory model.
-    #[test]
-    fn random_traffic_matches_flat_memory(ops in prop::collection::vec(op_strategy(3, 6), 1..60)) {
+/// Sequentially-issued random traffic equals a flat memory model.
+#[test]
+fn random_traffic_matches_flat_memory() {
+    let mut rng = SimRng::new(0xC0E0);
+    for _ in 0..24 {
+        let n_ops = rng.gen_range(1..60) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng, 3, 6)).collect();
         let cfg = CacheConfig {
             sets: 2,
             ways: 2,
@@ -61,7 +85,7 @@ proptest! {
                     h.request(cache, MemReq::load(id, slot_addr(slot), Width::B8));
                     let (_, r) = h.run_until_resp(cache, 5000);
                     let want = model.get(&slot).copied().unwrap_or(0);
-                    prop_assert_eq!(r.rdata, want, "load slot {} via cache {}", slot, cache);
+                    assert_eq!(r.rdata, want, "load slot {} via cache {}", slot, cache);
                 }
                 Op::Store { cache, slot, value } => {
                     h.request(cache, MemReq::store(id, slot_addr(slot), Width::B8, value));
@@ -69,17 +93,28 @@ proptest! {
                     model.insert(slot, value);
                 }
                 Op::AmoAdd { cache, slot, value } => {
-                    h.request(cache, MemReq::amo(id, AmoOp::Add, slot_addr(slot), Width::B8, value, 0));
+                    h.request(
+                        cache,
+                        MemReq::amo(id, AmoOp::Add, slot_addr(slot), Width::B8, value, 0),
+                    );
                     let (_, r) = h.run_until_resp(cache, 5000);
                     let old = model.get(&slot).copied().unwrap_or(0);
-                    prop_assert_eq!(r.rdata, old, "amo old value");
+                    assert_eq!(r.rdata, old, "amo old value");
                     model.insert(slot, old.wrapping_add(value));
                 }
-                Op::Cas { cache, slot, expected, value } => {
-                    h.request(cache, MemReq::amo(id, AmoOp::Cas, slot_addr(slot), Width::B8, value, expected));
+                Op::Cas {
+                    cache,
+                    slot,
+                    expected,
+                    value,
+                } => {
+                    h.request(
+                        cache,
+                        MemReq::amo(id, AmoOp::Cas, slot_addr(slot), Width::B8, value, expected),
+                    );
                     let (_, r) = h.run_until_resp(cache, 5000);
                     let old = model.get(&slot).copied().unwrap_or(0);
-                    prop_assert_eq!(r.rdata, old, "cas old value");
+                    assert_eq!(r.rdata, old, "cas old value");
                     if old == expected {
                         model.insert(slot, value);
                     }
@@ -96,13 +131,17 @@ proptest! {
             let line = h.peek_coherent(LineAddr::containing(slot_addr(*slot)));
             let off = (slot_addr(*slot) & 0xF) as usize;
             let got = duet_mem::types::read_scalar(&line, off, Width::B8);
-            prop_assert_eq!(got, *want, "final value of slot {}", slot);
+            assert_eq!(got, *want, "final value of slot {}", slot);
         }
     }
+}
 
-    /// Concurrent atomic increments from every cache are exact.
-    #[test]
-    fn concurrent_amo_sum_is_exact(per_cache in 1u64..12) {
+/// Concurrent atomic increments from every cache are exact.
+#[test]
+fn concurrent_amo_sum_is_exact() {
+    let mut rng = SimRng::new(0xC0E1);
+    for _ in 0..12 {
+        let per_cache = rng.gen_range(1..12);
         let cfg = CacheConfig::dolly_l2(Clock::ghz1());
         let mut h = ProtocolHarness::new(2, 2, 4, cfg);
         let addr = 0x4000u64;
@@ -113,7 +152,10 @@ proptest! {
         while done < 4 {
             for c in 0..4 {
                 if !inflight[c] && remaining[c] > 0 {
-                    h.request(c, MemReq::amo(1000 + c as u64, AmoOp::Add, addr, Width::B8, 1, 0));
+                    h.request(
+                        c,
+                        MemReq::amo(1000 + c as u64, AmoOp::Add, addr, Width::B8, 1, 0),
+                    );
                     inflight[c] = true;
                 }
             }
@@ -125,11 +167,11 @@ proptest! {
                 }
             }
             guard += 1;
-            prop_assert!(guard < 200_000, "no forward progress");
+            assert!(guard < 200_000, "no forward progress");
         }
         h.quiesce(5000);
         let line = h.peek_coherent(LineAddr::containing(addr));
         let got = duet_mem::types::read_scalar(&line, 0, Width::B8);
-        prop_assert_eq!(got, 4 * per_cache);
+        assert_eq!(got, 4 * per_cache);
     }
 }

@@ -35,11 +35,12 @@ impl SoftAccelerator for AtomicIncrementer {
                 self.inflight = false;
             }
         }
-        if !self.inflight && self.remaining > 0 {
-            if ports.hubs[0].amo(now, 1, AmoOp::Add, self.addr, Width::B8, 1, 0) {
-                self.inflight = true;
-                self.remaining -= 1;
-            }
+        if !self.inflight
+            && self.remaining > 0
+            && ports.hubs[0].amo(now, 1, AmoOp::Add, self.addr, Width::B8, 1, 0)
+        {
+            self.inflight = true;
+            self.remaining -= 1;
         }
     }
 

@@ -1,12 +1,11 @@
-//! Property-based tests of the NoC: delivery, per-pair ordering, and
+//! Property-style tests of the NoC: delivery, per-pair ordering, and
 //! conservation under random traffic — the guarantees the coherence
-//! protocol is built on.
+//! protocol is built on. Cases are generated from a seeded [`SimRng`].
 
 use std::collections::VecDeque;
 
 use duet_noc::{Mesh, MeshConfig, Message, VNet};
-use duet_sim::{Clock, Time};
-use proptest::prelude::*;
+use duet_sim::{Clock, SimRng, Time};
 
 #[derive(Clone, Debug)]
 struct Traffic {
@@ -16,13 +15,13 @@ struct Traffic {
     flits: u32,
 }
 
-fn traffic_strategy(nodes: usize) -> impl Strategy<Value = Traffic> {
-    (0..nodes, 0..nodes, 0..3usize, 1..4u32).prop_map(|(src, dst, vnet, flits)| Traffic {
-        src,
-        dst,
-        vnet,
-        flits,
-    })
+fn random_traffic(rng: &mut SimRng, nodes: usize) -> Traffic {
+    Traffic {
+        src: rng.next_below(nodes as u64) as usize,
+        dst: rng.next_below(nodes as u64) as usize,
+        vnet: rng.next_below(3) as usize,
+        flits: rng.gen_range(1..4) as u32,
+    }
 }
 
 fn vnet_of(i: usize) -> VNet {
@@ -33,23 +32,24 @@ fn vnet_of(i: usize) -> VNet {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every injected message is delivered exactly once, to the right
-    /// node, with per-(src, dst, vnet) order preserved.
-    #[test]
-    fn delivery_conservation_and_ordering(
-        msgs in prop::collection::vec(traffic_strategy(9), 1..80),
-    ) {
+/// Every injected message is delivered exactly once, to the right
+/// node, with per-(src, dst, vnet) order preserved.
+#[test]
+fn delivery_conservation_and_ordering() {
+    let mut rng = SimRng::new(0x0C01);
+    for _ in 0..32 {
+        let count = rng.gen_range(1..80) as usize;
+        let msgs: Vec<Traffic> = (0..count).map(|_| random_traffic(&mut rng, 9)).collect();
         let cfg = MeshConfig::new(3, 3, Clock::ghz1());
         let mut mesh: Mesh<(usize, usize)> = Mesh::new(cfg);
         // Sequence numbers per (src, dst, vnet) flow.
         let mut seq = std::collections::HashMap::new();
         // Per-flow queues: injection must not reorder within a flow (the
         // ordering guarantee is per (src, dst, vnet)).
-        let mut flows: std::collections::BTreeMap<(usize, usize, usize), VecDeque<(Traffic, usize)>> =
-            std::collections::BTreeMap::new();
+        let mut flows: std::collections::BTreeMap<
+            (usize, usize, usize),
+            VecDeque<(Traffic, usize)>,
+        > = std::collections::BTreeMap::new();
         let mut total = 0usize;
         for t in msgs {
             let k = (t.src, t.dst, t.vnet);
@@ -62,9 +62,8 @@ proptest! {
         let mut last_seen = std::collections::HashMap::new();
         let mut delivered = 0usize;
         let mut t = Time::ZERO;
-        let mut idle_cycles = 0;
         while delivered < total {
-            t = t + Time::from_ps(1000);
+            t += Time::from_ps(1000);
             // Inject each flow's head if buffer space admits it.
             for (k, q) in flows.iter_mut() {
                 if let Some((tr, s)) = q.front().cloned() {
@@ -79,63 +78,69 @@ proptest! {
                 }
             }
             mesh.tick(t);
-            let mut any = false;
             for node in 0..9 {
                 for &v in &VNet::ALL {
                     while let Some(m) = mesh.eject(node, v) {
-                        any = true;
                         delivered += 1;
                         let (s, vn) = m.payload;
-                        prop_assert_eq!(m.dst, node, "delivered to the wrong node");
+                        assert_eq!(m.dst, node, "delivered to the wrong node");
                         let k = (m.src, m.dst, vn);
                         let last = last_seen.entry(k).or_insert(-1i64);
-                        prop_assert!(
+                        assert!(
                             (s as i64) > *last,
                             "per-flow order violated on {:?}: {} after {}",
-                            k, s, *last
+                            k,
+                            s,
+                            *last
                         );
                         *last = s as i64;
                     }
                 }
             }
-            let pending_left: usize = flows.values().map(|q| q.len()).sum();
-            idle_cycles = if any || pending_left > 0 { 0 } else { idle_cycles + 1 };
-            prop_assert!(t < Time::from_us(200), "mesh did not drain");
+            assert!(t < Time::from_us(200), "mesh did not drain");
         }
-        prop_assert_eq!(delivered, total);
-        prop_assert!(mesh.is_idle());
-        prop_assert_eq!(mesh.stats().delivered, total as u64);
+        assert_eq!(delivered, total);
+        assert!(mesh.is_idle());
+        assert_eq!(mesh.stats().delivered, total as u64);
     }
+}
 
-    /// TLB translations agree with the page table for arbitrary mappings.
-    #[test]
-    fn tlb_agrees_with_page_table(
-        pages in prop::collection::btree_map(0u64..64, 0u64..512, 1..24),
-        probes in prop::collection::vec((0u64..64, 0u64..4096u64), 1..50),
-    ) {
-        use duet_mem::tlb::{PagePerms, PageTable, Tlb, Translation, Vpn, Ppn};
+/// TLB translations agree with the page table for arbitrary mappings.
+#[test]
+fn tlb_agrees_with_page_table() {
+    use duet_mem::tlb::{PagePerms, PageTable, Ppn, Tlb, Translation, Vpn};
+    let mut rng = SimRng::new(0x0C02);
+    for _ in 0..32 {
         let mut pt = PageTable::new();
         let mut tlb = Tlb::new(8);
+        let n_pages = rng.gen_range(1..24) as usize;
+        let mut pages = std::collections::BTreeMap::new();
+        for _ in 0..n_pages {
+            pages.insert(rng.next_below(64), rng.next_below(512));
+        }
         for (&vpn, &ppn) in &pages {
             pt.map(Vpn(vpn), Ppn(ppn), PagePerms::rw());
         }
-        for (vpn, off) in probes {
+        let n_probes = rng.gen_range(1..50) as usize;
+        for _ in 0..n_probes {
+            let vpn = rng.next_below(64);
+            let off = rng.next_below(4096);
             let va = (vpn << 12) | off;
             let res = tlb.translate(va, false);
             match (res, pt.lookup(Vpn(vpn))) {
                 (Translation::Hit(pa), Some((ppn, _))) => {
-                    prop_assert_eq!(pa, (ppn.0 << 12) | off);
+                    assert_eq!(pa, (ppn.0 << 12) | off);
                 }
                 (Translation::Miss, Some((ppn, perms))) => {
                     // Kernel refill, then it must hit.
                     tlb.insert(Vpn(vpn), ppn, perms);
                     match tlb.translate(va, false) {
-                        Translation::Hit(pa) => prop_assert_eq!(pa, (ppn.0 << 12) | off),
-                        other => prop_assert!(false, "refile failed: {:?}", other),
+                        Translation::Hit(pa) => assert_eq!(pa, (ppn.0 << 12) | off),
+                        other => panic!("refill failed: {:?}", other),
                     }
                 }
                 (Translation::Miss, None) => {} // correctly unmapped
-                (r, m) => prop_assert!(false, "inconsistent: {:?} vs {:?}", r, m),
+                (r, m) => panic!("inconsistent: {:?} vs {:?}", r, m),
             }
         }
     }
