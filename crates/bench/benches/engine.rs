@@ -164,7 +164,7 @@ fn main() {
     bench(&filter, "system/p4m1_10us_busy_step_edge", || {
         // Host cost of exhaustively stepping 10 us of a busy 4-core Dolly
         // instance, edge by edge (the step_edge micro-path).
-        let mut sys = System::new(SystemConfig::dolly(4, 1, 100.0));
+        let mut sys = System::new(SystemConfig::dolly(4, 1, 100.0)).expect("valid config");
         for core in 0..4 {
             sys.load_program(core, busy.clone(), "main");
         }
@@ -211,7 +211,7 @@ fn main() {
             "system/p4m1_idle_heavy_skip_off"
         };
         bench(&filter, label, || {
-            let mut sys = System::new(idle_cfg);
+            let mut sys = System::new(idle_cfg).expect("valid config");
             sys.set_edge_skipping(skip);
             for r in [sp_reg::CMD, sp_reg::RESULT, sp_reg::DATA] {
                 sys.set_reg_mode(r, RegMode::Normal);

@@ -63,5 +63,33 @@ fn main() {
             reduction(Mechanism::NormalReg, Mechanism::ShadowReg, mhz),
         );
     }
+
+    // Component-graph link counters for one representative cell per
+    // mechanism (100 MHz): where traffic flows and where it stalls.
+    println!();
+    println!("# Per-link occupancy/stall counters @100 MHz (links with traffic or rejections)");
+    println!(
+        "{:<24} {:<28} {:>8} {:>8} {:>9} {:>6} {:>6}",
+        "mechanism", "link", "pushes", "pops", "rejected", "peak", "cap"
+    );
+    for m in Mechanism::ALL {
+        let p = lookup(m, 100.0);
+        for (name, r) in &p.links {
+            if r.stats.pushes == 0 && r.stats.rejected_pushes == 0 {
+                continue;
+            }
+            println!(
+                "{:<24} {:<28} {:>8} {:>8} {:>9} {:>6} {:>6}",
+                m.label(),
+                name,
+                r.stats.pushes,
+                r.stats.pops,
+                r.stats.rejected_pushes,
+                r.stats.peak_occupancy,
+                r.capacity.map_or("inf".to_string(), |c| c.to_string()),
+            );
+        }
+        println!();
+    }
     tp.report("fig9");
 }

@@ -171,11 +171,11 @@ impl DuetAdapter {
             .hubs
             .iter_mut()
             .map(|h| {
-                let (req, resp) = h.fabric_fifos();
+                let (req, resp) = h.fabric_links();
                 HubPort { req, resp }
             })
             .collect();
-        let (down, up) = self.control.fabric_fifos();
+        let (down, up) = self.control.fabric_links();
         FabricPorts {
             now,
             clock,

@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, VecDeque};
 use duet_fpga::ports::{RegDown, RegUp};
 use duet_mem::types::{MemOp, MemReq, MemResp};
 use duet_noc::NodeId;
-use duet_sim::{AsyncFifo, Clock, Time};
+use duet_sim::{merge_min, Clock, ClockDomain, Component, Link, LinkReport, Time};
 
 use crate::msg::{DuetMsg, IrqCause};
 
@@ -221,13 +221,16 @@ pub struct ControlHub {
     plain: [u64; REG_COUNT],
     cpu_fifo: Vec<VecDeque<u64>>,
     tokens: [u64; REG_COUNT],
-    down: AsyncFifo<RegDown>,
-    up: AsyncFifo<RegUp>,
+    /// Hub→fabric CDC link (the FPGA-bound soft-register FIFO).
+    down: Link<RegDown>,
+    /// Fabric→hub CDC link.
+    up: Link<RegUp>,
     mmio_in: VecDeque<(MemReq, NodeId)>,
     waiting: Option<WaitSt>,
     txn_results: BTreeMap<u64, u64>,
     txn_next: u64,
-    out: VecDeque<(Time, NodeId, DuetMsg)>,
+    /// Outgoing NoC link `(dst, msg)` with per-response ready times.
+    out: Link<(NodeId, DuetMsg)>,
     active: bool,
     error_code: u64,
     timeout_cycles: u64,
@@ -255,13 +258,13 @@ impl ControlHub {
             plain: [0; REG_COUNT],
             cpu_fifo: (0..REG_COUNT).map(|_| VecDeque::new()).collect(),
             tokens: [0; REG_COUNT],
-            down: AsyncFifo::new(cfg.down_depth, cfg.sync_stages, cfg.clock, fpga_clock),
-            up: AsyncFifo::new(cfg.up_depth, cfg.sync_stages, fpga_clock, cfg.clock),
+            down: Link::cdc(cfg.down_depth, cfg.sync_stages, cfg.clock, fpga_clock),
+            up: Link::cdc(cfg.up_depth, cfg.sync_stages, fpga_clock, cfg.clock),
             mmio_in: VecDeque::new(),
             waiting: None,
             txn_results: BTreeMap::new(),
             txn_next: 1,
-            out: VecDeque::new(),
+            out: Link::pipe(),
             active: true,
             error_code: 0,
             timeout_cycles: cfg.timeout_cycles,
@@ -298,8 +301,8 @@ impl ControlHub {
         self.modes[reg]
     }
 
-    /// Fabric-side FIFOs for building [`duet_fpga::ports::FabricPorts`].
-    pub fn fabric_fifos(&mut self) -> (&mut AsyncFifo<RegDown>, &mut AsyncFifo<RegUp>) {
+    /// Fabric-side CDC links for building [`duet_fpga::ports::FabricPorts`].
+    pub fn fabric_links(&mut self) -> (&mut Link<RegDown>, &mut Link<RegUp>) {
         (&mut self.down, &mut self.up)
     }
 
@@ -356,28 +359,26 @@ impl ControlHub {
     /// accesses it decodes itself).
     pub fn respond_now(&mut self, now: Time, id: u64, value: u64, reply_to: NodeId) {
         let ready = now + self.cfg.clock.period().mul(u64::from(self.cfg.resp_cycles));
-        self.out.push_back((
+        self.out.push_at(
             ready,
-            reply_to,
-            DuetMsg::MmioResp {
-                resp: MemResp {
-                    id,
-                    rdata: value,
-                    line: None,
-                    cacheable: false,
-                    breakdown: Default::default(),
+            (
+                reply_to,
+                DuetMsg::MmioResp {
+                    resp: MemResp {
+                        id,
+                        rdata: value,
+                        line: None,
+                        cacheable: false,
+                        breakdown: Default::default(),
+                    },
                 },
-            },
-        ));
+            ),
+        );
     }
 
     /// Pops a ready outgoing message.
     pub fn pop_outgoing(&mut self, now: Time) -> Option<(NodeId, DuetMsg)> {
-        if self.out.front().is_some_and(|(t, _, _)| *t <= now) {
-            self.out.pop_front().map(|(_, dst, m)| (dst, m))
-        } else {
-            None
-        }
+        self.out.pop(now)
     }
 
     /// Whether fabric-bound input awaits the slow domain: occupancy in the
@@ -415,10 +416,7 @@ impl ControlHub {
         {
             return Some(now);
         }
-        let mut earliest = self.up.front_ready_at();
-        if let Some(&(t, _, _)) = self.out.front() {
-            earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
-        }
+        let mut earliest = merge_min(self.up.front_ready_at(), self.out.front_ready_at());
         if let Some(w) = self.waiting {
             let deadline = |started: Time| {
                 started + self.cfg.clock.period().mul(self.timeout_cycles) + Time::from_ps(1)
@@ -442,7 +440,7 @@ impl ControlHub {
                 // slow-domain pops; treat as hot (rare, short-lived states).
                 WaitSt::DownSpace { .. } | WaitSt::DownSpaceThenTxn { .. } => now,
             };
-            earliest = Some(earliest.map_or(cand, |e: Time| e.min(cand)));
+            earliest = merge_min(earliest, Some(cand));
         }
         earliest
     }
@@ -785,6 +783,30 @@ impl ControlHub {
     }
 }
 
+impl Component for ControlHub {
+    fn name(&self) -> String {
+        format!("ctl@n{}", self.node)
+    }
+
+    fn domain(&self) -> ClockDomain {
+        ClockDomain::Fast
+    }
+
+    fn tick(&mut self, now: Time) {
+        ControlHub::tick(self, now);
+    }
+
+    fn next_event_time(&self, now: Time) -> Option<Time> {
+        ControlHub::next_event_time(self, now)
+    }
+
+    fn visit_links(&self, visit: &mut dyn FnMut(&str, LinkReport)) {
+        visit("reg_down", self.down.report());
+        visit("reg_up", self.up.report());
+        visit("noc_out", self.out.report());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -825,7 +847,7 @@ mod tests {
         assert_eq!(resp.id, 1);
         assert!(cycle < 10, "shadow write acked from the fast domain");
         // The write is synchronized into the fabric.
-        let (down, _) = h.fabric_fifos();
+        let (down, _) = h.fabric_links();
         let ev = down.pop(t(40_000)).expect("forwarded");
         assert_eq!(ev, RegDown::ShadowWrite { reg: 0, value: 42 });
         // Reads return the fast-domain copy immediately.
@@ -843,7 +865,7 @@ mod tests {
         // No response yet; the fabric must answer.
         assert!(h.pop_outgoing(t(5000)).is_none());
         // Fabric sees the ReadReq after CDC, answers.
-        let (down, up) = h.fabric_fifos();
+        let (down, up) = h.fabric_links();
         let ev = down.pop(t(30_000)).expect("read request crossed");
         let RegDown::ReadReq { txn, reg } = ev else {
             panic!("expected ReadReq, got {ev:?}")
@@ -869,7 +891,7 @@ mod tests {
         );
         // The fabric pushes; the read completes.
         {
-            let (_, up) = h.fabric_fifos();
+            let (_, up) = h.fabric_links();
             up.push(t(10_000), RegUp::Push { reg: 2, value: 123 })
                 .unwrap();
         }
@@ -901,7 +923,7 @@ mod tests {
         assert_eq!(resp.rdata, 0);
         // Two pushes = two tokens.
         {
-            let (_, up) = h.fabric_fifos();
+            let (_, up) = h.fabric_links();
             up.push(t(30_000), RegUp::Push { reg: 3, value: 0 })
                 .unwrap();
             up.push(t(31_000), RegUp::Push { reg: 3, value: 0 })
@@ -1001,14 +1023,14 @@ mod tests {
         );
         // Fabric acks the normal write; both complete, in order.
         let txn = {
-            let (down, _) = h.fabric_fifos();
+            let (down, _) = h.fabric_links();
             match down.pop(t(30_000)) {
                 Some(RegDown::WriteReq { txn, .. }) => txn,
                 other => panic!("expected WriteReq, got {other:?}"),
             }
         };
         {
-            let (_, up) = h.fabric_fifos();
+            let (_, up) = h.fabric_links();
             up.push(t(31_000), RegUp::WriteAck { txn }).unwrap();
         }
         let (_, r1) = run_until_resp(&mut h, 32, 60);

@@ -30,7 +30,9 @@ use duet_mem::priv_cache::{CacheConfig, HomeMap, PrivCache};
 use duet_mem::tlb::{PagePerms, Ppn, Tlb, Translation, Vpn};
 use duet_mem::types::{LineAddr, MemReq};
 use duet_noc::NodeId;
-use duet_sim::{AsyncFifo, Clock, LatencyBreakdown, Time};
+use duet_sim::{
+    merge_min, Clock, ClockDomain, Component, LatencyBreakdown, Link, LinkReport, Time,
+};
 
 use crate::msg::IrqCause;
 
@@ -136,10 +138,10 @@ pub struct MemoryHub {
     cfg: MemoryHubConfig,
     node: NodeId,
     proxy: PrivCache,
-    /// Fabric (slow, producer) → hub (fast, consumer).
-    req_fifo: AsyncFifo<FpgaMemReq>,
-    /// Hub (fast, producer) → fabric (slow, consumer).
-    resp_fifo: AsyncFifo<FpgaMemResp>,
+    /// Fabric (slow, producer) → hub (fast, consumer) CDC link.
+    req_fifo: Link<FpgaMemReq>,
+    /// Hub (fast, producer) → fabric (slow, consumer) CDC link.
+    resp_fifo: Link<FpgaMemResp>,
     /// Overflow stage in front of `resp_fifo`, preserving order while never
     /// blocking the proxy (models a deeper hardware FIFO).
     resp_stage: std::collections::VecDeque<FpgaMemResp>,
@@ -173,8 +175,8 @@ impl MemoryHub {
             cfg,
             node,
             proxy: PrivCache::new(cfg.proxy, node, home),
-            req_fifo: AsyncFifo::new(cfg.req_fifo_depth, cfg.sync_stages, fpga_clock, fast),
-            resp_fifo: AsyncFifo::new(cfg.resp_fifo_depth, cfg.sync_stages, fast, fpga_clock),
+            req_fifo: Link::cdc(cfg.req_fifo_depth, cfg.sync_stages, fpga_clock, fast),
+            resp_fifo: Link::cdc(cfg.resp_fifo_depth, cfg.sync_stages, fast, fpga_clock),
             resp_stage: std::collections::VecDeque::new(),
             tlb: Tlb::new(cfg.tlb_entries),
             switches: cfg.switches,
@@ -266,9 +268,9 @@ impl MemoryHub {
         self.resp_fifo.set_consumer_clock(clock);
     }
 
-    /// Fabric-side request FIFO (for building
+    /// Fabric-side CDC links (for building
     /// [`duet_fpga::ports::FabricPorts`]).
-    pub fn fabric_fifos(&mut self) -> (&mut AsyncFifo<FpgaMemReq>, &mut AsyncFifo<FpgaMemResp>) {
+    pub fn fabric_links(&mut self) -> (&mut Link<FpgaMemReq>, &mut Link<FpgaMemResp>) {
         (&mut self.req_fifo, &mut self.resp_fifo)
     }
 
@@ -331,9 +333,7 @@ impl MemoryHub {
         }
         let mut earliest = self.proxy.next_event_time(now);
         if self.switches.active {
-            if let Some(t) = self.req_fifo.front_ready_at() {
-                earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
-            }
+            earliest = merge_min(earliest, self.req_fifo.front_ready_at());
         }
         earliest
     }
@@ -538,6 +538,35 @@ impl MemoryHub {
     }
 }
 
+impl Component for MemoryHub {
+    fn name(&self) -> String {
+        format!("hub{}@n{}", self.hub_index, self.node)
+    }
+
+    fn domain(&self) -> ClockDomain {
+        if self.cfg.proxy.slow_domain {
+            ClockDomain::Slow
+        } else {
+            ClockDomain::Fast
+        }
+    }
+
+    fn tick(&mut self, now: Time) {
+        MemoryHub::tick(self, now);
+    }
+
+    fn next_event_time(&self, now: Time) -> Option<Time> {
+        MemoryHub::next_event_time(self, now)
+    }
+
+    fn visit_links(&self, visit: &mut dyn FnMut(&str, LinkReport)) {
+        visit("fabric_req", self.req_fifo.report());
+        visit("fabric_resp", self.resp_fifo.report());
+        self.proxy
+            .visit_links(&mut |name, report| visit(&format!("proxy.{name}"), report));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,7 +602,7 @@ mod tests {
     fn fabric_load_reaches_noc_with_cdc_attribution() {
         let mut h = hub();
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.load_line(t(10_000), 7, 0x100));
         }
@@ -609,7 +638,7 @@ mod tests {
         for c in 21..30 {
             h.tick(t(c * 1000));
         }
-        let (_, resp_fifo) = h.fabric_fifos();
+        let (_, resp_fifo) = h.fabric_links();
         let resp = resp_fifo.pop(t(60_000)).expect("fabric response");
         assert_eq!(resp.id, 7);
         assert!(matches!(resp.kind, FpgaRespKind::LoadAck { data } if data[0] == 9));
@@ -627,7 +656,7 @@ mod tests {
     fn misaligned_request_trips_exception_and_deactivates() {
         let mut h = hub();
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.store(t(10_000), 1, 0x101, Width::B8, 5)); // misaligned
         }
@@ -639,7 +668,7 @@ mod tests {
         );
         // Deactivated hub stops accepting (request stays in FIFO).
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.store(t(20_000), 2, 0x108, Width::B8, 5));
         }
@@ -658,7 +687,7 @@ mod tests {
         // Warm a line into the proxy, then hit it with an Inv.
         // (Direct warm via proxy is not exposed; drive a fill instead.)
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             // Re-activate briefly to get a line in.
             port.load_line(t(10_000), 1, 0x200);
@@ -716,7 +745,7 @@ mod tests {
         sw.tlb_enabled = true;
         h.set_switches(sw);
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.load_line(t(10_000), 1, 0x5000)); // unmapped VA
             assert!(port.load_line(t(20_000), 2, 0x6000)); // behind the fault
@@ -760,7 +789,7 @@ mod tests {
         h.set_switches(sw);
         h.tlb_insert(Vpn(0x5), Ppn(0x9), PagePerms::ro());
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.store(t(10_000), 1, 0x5000, Width::B8, 1));
         }
@@ -779,19 +808,19 @@ mod tests {
         h.tlb_insert(Vpn(0x5), Ppn(0x9), PagePerms::rw());
         h.tlb_insert(Vpn(0x6), Ppn(0x9), PagePerms::rw());
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.load_line(t(10_000), 1, 0x5000));
         }
         h.tick(t(12_000));
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.load_line(t(20_000), 2, 0x6000)); // synonym
         }
         h.tick(t(22_000));
         // The fabric must receive an Inv for the OLD virtual line (0x5000).
-        let (_, resp_fifo) = h.fabric_fifos();
+        let (_, resp_fifo) = h.fabric_links();
         let mut saw_inv = false;
         while let Some(r) = resp_fifo.pop(t(80_000)) {
             if let FpgaRespKind::Inv { line } = r.kind {
@@ -809,7 +838,7 @@ mod tests {
         sw.tlb_enabled = true;
         h.set_switches(sw);
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.load_line(t(10_000), 1, 0x7000));
         }
@@ -827,7 +856,7 @@ mod tests {
         sw.atomics = false;
         h.set_switches(sw);
         {
-            let (req, resp) = h.fabric_fifos();
+            let (req, resp) = h.fabric_links();
             let mut port = HubPort { req, resp };
             assert!(port.amo(
                 t(10_000),

@@ -576,6 +576,20 @@ impl Core {
     }
 }
 
+impl duet_sim::Component for Core {
+    fn name(&self) -> String {
+        format!("core{}", self.cfg.hart_id)
+    }
+
+    fn tick(&mut self, now: Time) {
+        Core::tick(self, now);
+    }
+
+    fn next_event_time(&self, now: Time) -> Option<Time> {
+        Core::next_event_time(self, now)
+    }
+}
+
 fn extend(raw: u64, width: Width, signed: bool) -> u64 {
     if !signed || width == Width::B8 {
         return raw & width.mask();

@@ -9,7 +9,7 @@
 //! use, and the [`SoftAccelerator`] trait every fabric design implements.
 
 use duet_mem::types::{Addr, AmoOp, LineAddr, LineData, Width};
-use duet_sim::{AsyncFifo, Clock, LatencyBreakdown, Time};
+use duet_sim::{Clock, LatencyBreakdown, Link, Time};
 
 /// Operations an accelerator may issue to a Memory Hub.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,12 +136,12 @@ pub enum RegUp {
     },
 }
 
-/// Fabric-side handle on one Memory Hub's request/response FIFO pair.
+/// Fabric-side handle on one Memory Hub's request/response CDC link pair.
 pub struct HubPort<'a> {
     /// Fabric → hub requests.
-    pub req: &'a mut AsyncFifo<FpgaMemReq>,
+    pub req: &'a mut Link<FpgaMemReq>,
     /// Hub → fabric responses/invalidations.
-    pub resp: &'a mut AsyncFifo<FpgaMemResp>,
+    pub resp: &'a mut Link<FpgaMemResp>,
 }
 
 impl HubPort<'_> {
@@ -216,12 +216,12 @@ impl HubPort<'_> {
     }
 }
 
-/// Fabric-side handle on the Control Hub's soft-register FIFO pair.
+/// Fabric-side handle on the Control Hub's soft-register CDC link pair.
 pub struct RegPort<'a> {
     /// Hub → fabric (shadow writes, normal reads/writes).
-    pub down: &'a mut AsyncFifo<RegDown>,
+    pub down: &'a mut Link<RegDown>,
     /// Fabric → hub (pushes, read replies, write acks).
-    pub up: &'a mut AsyncFifo<RegUp>,
+    pub up: &'a mut Link<RegUp>,
 }
 
 impl RegPort<'_> {
@@ -300,8 +300,8 @@ mod tests {
     fn hub_port_roundtrip_through_async_fifos() {
         let fast = Clock::ghz1();
         let slow = Clock::from_mhz(100.0);
-        let mut req = AsyncFifo::new(4, 2, slow, fast);
-        let mut resp = AsyncFifo::new(4, 2, fast, slow);
+        let mut req = Link::cdc(4, 2, slow, fast);
+        let mut resp = Link::cdc(4, 2, fast, slow);
         let t_slow = Time::from_ps(10_000);
         {
             let mut port = HubPort {
@@ -339,8 +339,8 @@ mod tests {
     fn reg_port_push_and_ack() {
         let fast = Clock::ghz1();
         let slow = Clock::from_mhz(250.0);
-        let mut down = AsyncFifo::new(4, 2, fast, slow);
-        let mut up = AsyncFifo::new(4, 2, slow, fast);
+        let mut down = Link::cdc(4, 2, fast, slow);
+        let mut up = Link::cdc(4, 2, slow, fast);
         down.push(
             Time::from_ps(1000),
             RegDown::WriteReq {

@@ -229,15 +229,12 @@ impl FabricRegFile {
 mod tests {
     use super::*;
     use crate::ports::RegUp;
-    use duet_sim::{AsyncFifo, Clock};
+    use duet_sim::{Clock, Link};
 
-    fn fifos() -> (AsyncFifo<RegDown>, AsyncFifo<RegUp>) {
+    fn fifos() -> (Link<RegDown>, Link<RegUp>) {
         let fast = Clock::ghz1();
         let slow = Clock::from_mhz(100.0);
-        (
-            AsyncFifo::new(8, 2, fast, slow),
-            AsyncFifo::new(8, 2, slow, fast),
-        )
+        (Link::cdc(8, 2, fast, slow), Link::cdc(8, 2, slow, fast))
     }
 
     fn t(ps: u64) -> Time {

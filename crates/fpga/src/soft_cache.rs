@@ -243,15 +243,12 @@ impl SoftCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use duet_sim::{AsyncFifo, Clock, LatencyBreakdown};
+    use duet_sim::{Clock, LatencyBreakdown, Link};
 
-    fn ports() -> (AsyncFifo<crate::ports::FpgaMemReq>, AsyncFifo<FpgaMemResp>) {
+    fn ports() -> (Link<crate::ports::FpgaMemReq>, Link<FpgaMemResp>) {
         let fast = Clock::ghz1();
         let slow = Clock::from_mhz(100.0);
-        (
-            AsyncFifo::new(8, 2, slow, fast),
-            AsyncFifo::new(8, 2, fast, slow),
-        )
+        (Link::cdc(8, 2, slow, fast), Link::cdc(8, 2, fast, slow))
     }
 
     fn t(ps: u64) -> Time {

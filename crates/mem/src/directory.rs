@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use duet_noc::NodeId;
-use duet_sim::{Clock, LatencyBreakdown, Time};
+use duet_sim::{Clock, ClockDomain, Component, LatencyBreakdown, Link, LinkReport, Time};
 
 use crate::array::CacheArray;
 use crate::msg::{CoherenceMsg, Grant};
@@ -114,13 +114,6 @@ pub struct DirStats {
     pub l3_misses: u64,
 }
 
-#[derive(Clone, Debug)]
-struct OutMsg {
-    ready_at: Time,
-    dst: NodeId,
-    msg: CoherenceMsg,
-}
-
 /// A directory + L3 data shard. See module docs.
 pub struct L3Shard {
     cfg: DirConfig,
@@ -131,7 +124,9 @@ pub struct L3Shard {
     /// Timing-only L3 data array: presence decides hit vs memory latency.
     l3_tags: CacheArray<()>,
     incoming: VecDeque<(NodeId, CoherenceMsg, Time, Time)>,
-    out: VecDeque<OutMsg>,
+    /// Outgoing NoC link `(dst, msg)`: entries become injectable after the
+    /// shard's L3/memory access latency.
+    out: Link<(NodeId, CoherenceMsg)>,
     stats: DirStats,
 }
 
@@ -145,7 +140,7 @@ impl L3Shard {
             backing: BTreeMap::new(),
             l3_tags: CacheArray::new(cfg.sets, cfg.ways),
             incoming: VecDeque::new(),
-            out: VecDeque::new(),
+            out: Link::pipe(),
             stats: DirStats::default(),
         }
     }
@@ -252,7 +247,7 @@ impl L3Shard {
         if !self.incoming.is_empty() {
             return Some(now);
         }
-        self.out.front().map(|m| m.ready_at)
+        self.out.front_ready_at()
     }
 
     /// Delivers a coherence message from the NoC glue. `flight` is the
@@ -275,11 +270,7 @@ impl L3Shard {
 
     /// Pops a ready outgoing message: `(dst, msg)`.
     pub fn pop_outgoing(&mut self, now: Time) -> Option<(NodeId, CoherenceMsg)> {
-        if self.out.front().is_some_and(|m| m.ready_at <= now) {
-            self.out.pop_front().map(|m| (m.dst, m.msg))
-        } else {
-            None
-        }
+        self.out.pop(now)
     }
 
     fn delay(&self, cycles: u32) -> Time {
@@ -287,7 +278,7 @@ impl L3Shard {
     }
 
     fn send(&mut self, ready_at: Time, dst: NodeId, msg: CoherenceMsg) {
-        self.out.push_back(OutMsg { ready_at, dst, msg });
+        self.out.push_at(ready_at, (dst, msg));
     }
 
     /// Reads line data for a response, charging L3-hit or memory latency.
@@ -560,6 +551,32 @@ impl L3Shard {
         if let Some((src, msg, arrived, flight)) = e.queued.pop_front() {
             self.dispatch(now, src, msg, arrived, flight);
         }
+    }
+}
+
+impl Component for L3Shard {
+    fn name(&self) -> String {
+        format!("l3@n{}", self.node)
+    }
+
+    fn domain(&self) -> ClockDomain {
+        ClockDomain::Fast
+    }
+
+    fn tick(&mut self, now: Time) {
+        L3Shard::tick(self, now);
+    }
+
+    fn next_event_time(&self, now: Time) -> Option<Time> {
+        L3Shard::next_event_time(self, now)
+    }
+
+    fn is_active(&self, _now: Time) -> bool {
+        L3Shard::is_active(self)
+    }
+
+    fn visit_links(&self, visit: &mut dyn FnMut(&str, LinkReport)) {
+        visit("noc_out", self.out.report());
     }
 }
 

@@ -17,7 +17,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use duet_noc::NodeId;
-use duet_sim::{Clock, LatencyBreakdown, Time};
+use duet_sim::{
+    merge_min, Clock, ClockDomain, Component, LatencyBreakdown, Link, LinkReport, Time,
+};
 
 use crate::array::CacheArray;
 use crate::msg::{CoherenceMsg, Grant};
@@ -165,14 +167,6 @@ struct Mshr {
     breakdown: LatencyBreakdown,
 }
 
-/// An outgoing NoC message with its earliest injection time.
-#[derive(Clone, Debug)]
-struct OutMsg {
-    ready_at: Time,
-    dst: NodeId,
-    msg: CoherenceMsg,
-}
-
 /// Event counters for a private cache.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
@@ -204,8 +198,12 @@ pub struct PrivCache {
     /// Incoming coherence messages: the cache pipeline processes one per
     /// cycle (this serialization is what makes a slow-domain cache slow).
     noc_in: VecDeque<(NodeId, CoherenceMsg, Time, Time)>,
-    resp_out: VecDeque<(Time, MemResp)>,
-    noc_out: VecDeque<OutMsg>,
+    /// CPU-side response link: entries carry the hit/miss pipeline delay as
+    /// their ready time.
+    resp_out: Link<MemResp>,
+    /// Outgoing NoC link `(dst, msg)`: entries become injectable after the
+    /// cache's local processing delay.
+    noc_out: Link<(NodeId, CoherenceMsg)>,
     back_inval: VecDeque<(LineAddr, InvalReason)>,
     stats: CacheStats,
 }
@@ -223,8 +221,8 @@ impl PrivCache {
             wb: BTreeMap::new(),
             req_in: VecDeque::new(),
             noc_in: VecDeque::new(),
-            resp_out: VecDeque::new(),
-            noc_out: VecDeque::new(),
+            resp_out: Link::pipe(),
+            noc_out: Link::pipe(),
             back_inval: VecDeque::new(),
             stats: CacheStats::default(),
         }
@@ -269,20 +267,12 @@ impl PrivCache {
 
     /// Pops a ready CPU-side response.
     pub fn pop_cpu_resp(&mut self, now: Time) -> Option<MemResp> {
-        if self.resp_out.front().is_some_and(|(t, _)| *t <= now) {
-            self.resp_out.pop_front().map(|(_, r)| r)
-        } else {
-            None
-        }
+        self.resp_out.pop(now)
     }
 
     /// Pops a ready outgoing NoC message: `(dst, msg)`.
     pub fn pop_outgoing(&mut self, now: Time) -> Option<(NodeId, CoherenceMsg)> {
-        if self.noc_out.front().is_some_and(|m| m.ready_at <= now) {
-            self.noc_out.pop_front().map(|m| (m.dst, m.msg))
-        } else {
-            None
-        }
+        self.noc_out.pop(now)
     }
 
     /// Drains the lines the L1 (or soft cache) above must invalidate.
@@ -327,14 +317,10 @@ impl PrivCache {
         if !self.req_in.is_empty() || !self.noc_in.is_empty() || !self.back_inval.is_empty() {
             return Some(now);
         }
-        let mut earliest: Option<Time> = None;
-        if let Some(&(t, _)) = self.resp_out.front() {
-            earliest = Some(t);
-        }
-        if let Some(m) = self.noc_out.front() {
-            earliest = Some(earliest.map_or(m.ready_at, |e: Time| e.min(m.ready_at)));
-        }
-        earliest
+        merge_min(
+            self.resp_out.front_ready_at(),
+            self.noc_out.front_ready_at(),
+        )
     }
 
     /// Looks up a line's stable state (test/debug aid).
@@ -366,11 +352,8 @@ impl PrivCache {
     }
 
     fn send(&mut self, now: Time, dst: NodeId, msg: CoherenceMsg, extra_cycles: u32) {
-        self.noc_out.push_back(OutMsg {
-            ready_at: now + self.delay(extra_cycles),
-            dst,
-            msg,
-        });
+        self.noc_out
+            .push_at(now + self.delay(extra_cycles), (dst, msg));
     }
 
     /// Queues a coherence message delivered by the NoC glue. `flight` is
@@ -723,7 +706,7 @@ impl PrivCache {
                 (old, None, true)
             }
         };
-        self.resp_out.push_back((
+        self.resp_out.push_at(
             now + resp_delay,
             MemResp {
                 id: req.id,
@@ -732,7 +715,7 @@ impl PrivCache {
                 cacheable,
                 breakdown: bd,
             },
-        ));
+        );
         wrote
     }
 
@@ -859,6 +842,37 @@ impl PrivCache {
                 self.send(now, home, msg, self.cfg.proc_cycles);
             }
         }
+    }
+}
+
+impl Component for PrivCache {
+    fn name(&self) -> String {
+        format!("cache@n{}", self.node)
+    }
+
+    fn domain(&self) -> ClockDomain {
+        if self.cfg.slow_domain {
+            ClockDomain::Slow
+        } else {
+            ClockDomain::Fast
+        }
+    }
+
+    fn tick(&mut self, now: Time) {
+        PrivCache::tick(self, now);
+    }
+
+    fn next_event_time(&self, now: Time) -> Option<Time> {
+        PrivCache::next_event_time(self, now)
+    }
+
+    fn is_active(&self, _now: Time) -> bool {
+        PrivCache::is_active(self)
+    }
+
+    fn visit_links(&self, visit: &mut dyn FnMut(&str, LinkReport)) {
+        visit("resp_out", self.resp_out.report());
+        visit("noc_out", self.noc_out.report());
     }
 }
 

@@ -38,7 +38,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use duet_sim::{Clock, Fifo, PushError, Time};
+use duet_sim::{merge_min, Clock, ClockDomain, Component, Link, LinkReport, PushError, Time};
 
 /// Identifies a mesh node (tile). Row-major: `id = y * width + x`.
 pub type NodeId = usize;
@@ -127,6 +127,20 @@ const PORTS: [Port; PORT_COUNT] = [
     Port::Local,
 ];
 
+impl Port {
+    fn label(self) -> &'static str {
+        match self {
+            Port::North => "north",
+            Port::South => "south",
+            Port::East => "east",
+            Port::West => "west",
+            Port::Local => "local",
+        }
+    }
+}
+
+const VNET_LABELS: [&str; VNET_COUNT] = ["req", "fwd", "resp"];
+
 /// Mesh configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct MeshConfig {
@@ -189,8 +203,10 @@ impl MeshConfig {
 }
 
 struct Router<P> {
-    /// Input queues, indexed `[port][vnet]`.
-    inputs: Vec<Vec<Fifo<Message<P>>>>,
+    /// Input links, indexed `[port][vnet]`: one bounded synchronous link per
+    /// (port, vnet) pair, modelling the per-vnet input buffers of an
+    /// OpenPiton-style router port.
+    inputs: Vec<Vec<Link<Message<P>>>>,
     /// Time until which each output port's link is serializing a message.
     out_busy: [Time; PORT_COUNT],
     /// Round-robin pointer per output port over (input port, vnet) pairs.
@@ -249,7 +265,7 @@ impl<P> Mesh<P> {
                 inputs: (0..PORT_COUNT)
                     .map(|_| {
                         (0..VNET_COUNT)
-                            .map(|_| Fifo::new(cfg.buf_depth, hop_latency))
+                            .map(|_| Link::sync(cfg.buf_depth, hop_latency))
                             .collect()
                     })
                     .collect(),
@@ -284,7 +300,8 @@ impl<P> Mesh<P> {
     /// Whether node `node` can inject on `vnet` at this time (local input
     /// buffer has space).
     pub fn can_inject(&self, node: NodeId, vnet: VNet) -> bool {
-        self.routers[node].inputs[Port::Local as usize][vnet.index()].can_push()
+        // Synchronous links ignore the probe time.
+        self.routers[node].inputs[Port::Local as usize][vnet.index()].can_push(Time::ZERO)
     }
 
     /// Injects a message at its source node's local port.
@@ -363,7 +380,7 @@ impl<P> Mesh<P> {
                         } else {
                             ready
                         };
-                        earliest = Some(earliest.map_or(cand, |e: Time| e.min(cand)));
+                        earliest = merge_min(earliest, Some(cand));
                     }
                 }
             }
@@ -442,7 +459,7 @@ impl<P> Mesh<P> {
                             break;
                         }
                         let (nb, in_port) = self.neighbor(node, out);
-                        if self.routers[nb].inputs[in_port as usize][vn].can_push() {
+                        if self.routers[nb].inputs[in_port as usize][vn].can_push(now) {
                             chosen = Some((ip, vn));
                             break;
                         }
@@ -477,6 +494,43 @@ impl<P> Mesh<P> {
             }
         }
         self.scratch = worklist;
+    }
+}
+
+impl<P> Component for Mesh<P> {
+    fn name(&self) -> String {
+        "mesh".to_string()
+    }
+
+    fn domain(&self) -> ClockDomain {
+        ClockDomain::Fast
+    }
+
+    fn tick(&mut self, now: Time) {
+        Mesh::tick(self, now);
+    }
+
+    /// Note the mesh-specific convention: a visible-but-blocked head reports
+    /// the *next* clock edge (routers only arbitrate on edges), never `now`.
+    fn next_event_time(&self, now: Time) -> Option<Time> {
+        Mesh::next_event_time(self, now)
+    }
+
+    fn is_active(&self, _now: Time) -> bool {
+        !self.is_idle()
+    }
+
+    fn visit_links(&self, visit: &mut dyn FnMut(&str, LinkReport)) {
+        for (node, router) in self.routers.iter().enumerate() {
+            for (p, per_port) in router.inputs.iter().enumerate() {
+                for (vn, link) in per_port.iter().enumerate() {
+                    visit(
+                        &format!("n{node}.{}.{}", PORTS[p].label(), VNET_LABELS[vn]),
+                        link.report(),
+                    );
+                }
+            }
+        }
     }
 }
 

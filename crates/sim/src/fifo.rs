@@ -215,6 +215,11 @@ impl<T> AsyncFifo<T> {
         self.slots.len()
     }
 
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether no entries are buffered.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
@@ -288,6 +293,11 @@ impl<T> AsyncFifo<T> {
     pub fn clear(&mut self) {
         self.slots.clear();
         self.pending_pops.clear();
+    }
+
+    /// Iterates over all buffered items front-to-back, ignoring visibility.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().map(|s| &s.item)
     }
 }
 
@@ -394,6 +404,85 @@ mod tests {
             }
         }
         assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn async_fifo_pop_exactly_at_synchronizer_boundary() {
+        // An entry pushed at t must be invisible at the 1st consumer edge
+        // strictly after t, and become poppable at exactly the 2nd — not a
+        // picosecond earlier.
+        let fast = Clock::ghz1();
+        let slow = Clock::from_mhz(250.0); // slow edges at 4000, 8000, ...
+        let mut f = AsyncFifo::new(4, 2, fast, slow);
+        // Push exactly ON a consumer edge: edges *strictly after* 4000 are
+        // 8000 and 12000, so the push's own edge must not count as a stage.
+        f.push(ps(4000), 1u8).unwrap();
+        assert_eq!(f.front_ready_at(), Some(ps(12_000)));
+        assert_eq!(f.pop(ps(11_999)), None);
+        assert_eq!(f.front(ps(12_000)), Some(&1));
+        assert_eq!(f.pop(ps(12_000)), Some(1));
+        // Freed space: producer edges strictly after 12_000 are 13_000 and
+        // 14_000 — the free is invisible at 13_999 and visible at 14_000, so
+        // until then the popped slot still counts against capacity.
+        f.push(ps(12_000), 2u8).unwrap();
+        f.push(ps(12_000), 3u8).unwrap();
+        f.push(ps(12_000), 4u8).unwrap();
+        assert_eq!(f.push(ps(13_999), 5u8), Err(PushError));
+        assert_eq!(f.producer_occupancy(ps(13_999)), 3 + 1);
+        assert_eq!(f.producer_occupancy(ps(14_000)), 3);
+        f.push(ps(14_000), 5u8).unwrap();
+    }
+
+    #[test]
+    fn async_fifo_unit_clock_ratio() {
+        // Producer and consumer on the *same* clock (ratio 1): the CDC still
+        // costs sync_stages edges in each direction — the synchronizer does
+        // not degenerate into a plain FIFO.
+        let clk = Clock::ghz1(); // edges at 1000, 2000, ...
+        let mut f = AsyncFifo::new(2, 2, clk, clk);
+        f.push(ps(1000), 7u32).unwrap();
+        assert_eq!(f.pop(ps(2000)), None, "one edge is not enough");
+        assert_eq!(f.pop(ps(3000)), Some(7));
+        // The freed slot is producer-visible only at 5000 (two edges after
+        // the pop), so a second push at 4000 sees occupancy 1 + 1 = full.
+        f.push(ps(4000), 8u32).unwrap();
+        assert_eq!(f.push(ps(4000), 9u32), Err(PushError));
+        f.push(ps(5000), 9u32).unwrap(); // full: 2 slots occupied
+        assert!(!f.can_push(ps(5000)));
+        assert_eq!(f.pop(ps(7000)), Some(8));
+        assert!(!f.can_push(ps(8000)), "free not yet synchronized");
+        assert!(f.can_push(ps(9000)));
+    }
+
+    #[test]
+    fn async_fifo_full_fifo_backpressure() {
+        // Fill to capacity; every further push must be rejected without
+        // corrupting order, and draining reopens exactly one slot per pop
+        // (after synchronization).
+        let fast = Clock::ghz1();
+        let slow = Clock::from_mhz(100.0);
+        let mut f = AsyncFifo::new(3, 2, fast, slow);
+        for i in 0..3u8 {
+            f.push(ps(1000 + u64::from(i)), i).unwrap();
+        }
+        assert!(!f.can_push(ps(2000)));
+        assert_eq!(f.push(ps(2000), 99), Err(PushError));
+        assert_eq!(f.len(), 3);
+        // Consumer drains one at 20_000; producer sees the slot at 22_000.
+        assert_eq!(f.pop(ps(20_000)), Some(0));
+        assert_eq!(f.push(ps(21_000), 99), Err(PushError));
+        f.push(ps(22_000), 3).unwrap();
+        assert_eq!(f.push(ps(22_000), 99), Err(PushError));
+        // Order survives the backpressure episode.
+        let mut out = Vec::new();
+        let mut t = ps(22_000);
+        while out.len() < 3 {
+            t += ps(10_000);
+            while let Some(v) = f.pop(t) {
+                out.push(v);
+            }
+        }
+        assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]

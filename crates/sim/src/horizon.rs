@@ -1,0 +1,155 @@
+//! Event-horizon merging: the shared `next_event_time` idiom.
+//!
+//! Every layer of the simulator answers the same question — "when can this
+//! structure next make observable progress?" — by folding an `Option<Time>`
+//! minimum over its parts, clamped so that times at or before `now` mean
+//! "work on this very edge". Before this module, each crate hand-rolled that
+//! fold (and the `System` god-object did it once more with a macro). The
+//! [`Horizon`] accumulator captures the idiom once:
+//!
+//! ```
+//! use duet_sim::{Horizon, Time};
+//!
+//! let now = Time::from_ps(5_000);
+//! let mut h = Horizon::new(now);
+//! assert!(!h.merge(Time::from_ps(9_000)));   // future: keep folding
+//! assert!(h.merge(Time::from_ps(4_000)));    // due now: caller may stop
+//! assert_eq!(h.earliest(), Some(now));       // clamped up to `now`
+//! ```
+//!
+//! The clamp matters: a component may report a time in the past (e.g. a
+//! queue entry that became ready while the component was gated); the merged
+//! horizon must never ask the scheduler to travel backwards.
+
+use crate::time::Time;
+
+/// Accumulates the minimum of per-component event times relative to `now`.
+///
+/// `merge*` returns `true` when the merged time is due on the current edge
+/// (`<= now`) — the caller may early-exit the fold, since no other component
+/// can lower the horizon further.
+#[derive(Clone, Copy, Debug)]
+pub struct Horizon {
+    now: Time,
+    earliest: Option<Time>,
+}
+
+impl Horizon {
+    /// Starts an empty horizon fold at the current edge time `now`.
+    pub fn new(now: Time) -> Self {
+        Horizon {
+            now,
+            earliest: None,
+        }
+    }
+
+    /// Folds one event time in. Returns `true` if the horizon is now due
+    /// (i.e. some merged time was `<= now`, clamped up to `now`) — sticky,
+    /// so callers can early-exit a fold as soon as it fires.
+    pub fn merge(&mut self, t: Time) -> bool {
+        let t = t.max(self.now);
+        match self.earliest {
+            Some(e) if e <= t => {}
+            _ => self.earliest = Some(t),
+        }
+        self.due()
+    }
+
+    /// Folds an optional event time in (`None` merges nothing). Returns
+    /// `true` if the horizon is now due.
+    pub fn merge_opt(&mut self, t: Option<Time>) -> bool {
+        match t {
+            Some(t) => self.merge(t),
+            None => false,
+        }
+    }
+
+    /// Whether the merged horizon is due on the current edge.
+    pub fn due(&self) -> bool {
+        self.earliest.is_some_and(|e| e <= self.now)
+    }
+
+    /// The merged horizon: earliest event time at or after `now`, or `None`
+    /// if nothing was merged (everything idle).
+    pub fn earliest(&self) -> Option<Time> {
+        self.earliest
+    }
+}
+
+/// Minimum of two optional event times (`None` = idle). The leaf-level form
+/// of the idiom, for components folding over two or three queues without the
+/// early-exit machinery.
+pub fn merge_min(a: Option<Time>, b: Option<Time>) -> Option<Time> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: u64) -> Time {
+        Time::from_ps(v)
+    }
+
+    #[test]
+    fn empty_horizon_is_idle() {
+        let h = Horizon::new(ps(100));
+        assert_eq!(h.earliest(), None);
+        assert!(!h.due());
+    }
+
+    #[test]
+    fn merge_keeps_minimum_of_future_times() {
+        let mut h = Horizon::new(ps(100));
+        assert!(!h.merge(ps(500)));
+        assert!(!h.merge(ps(300)));
+        assert!(!h.merge(ps(900)));
+        assert_eq!(h.earliest(), Some(ps(300)));
+        assert!(!h.due());
+    }
+
+    #[test]
+    fn past_times_clamp_to_now_and_report_due() {
+        let mut h = Horizon::new(ps(100));
+        assert!(h.merge(ps(40)), "a past event is due on this edge");
+        assert_eq!(h.earliest(), Some(ps(100)), "clamped, never backwards");
+        assert!(h.due());
+    }
+
+    #[test]
+    fn exactly_now_is_due() {
+        let mut h = Horizon::new(ps(100));
+        assert!(h.merge(ps(100)));
+        assert_eq!(h.earliest(), Some(ps(100)));
+    }
+
+    #[test]
+    fn due_horizon_absorbs_later_merges() {
+        let mut h = Horizon::new(ps(100));
+        assert!(h.merge(ps(100)));
+        assert!(h.merge(ps(700)), "stays due once due");
+        assert_eq!(h.earliest(), Some(ps(100)));
+    }
+
+    #[test]
+    fn merge_opt_ignores_idle_components() {
+        let mut h = Horizon::new(ps(100));
+        assert!(!h.merge_opt(None));
+        assert_eq!(h.earliest(), None);
+        assert!(!h.merge_opt(Some(ps(250))));
+        assert!(h.merge_opt(Some(ps(100))));
+        assert_eq!(h.earliest(), Some(ps(100)));
+    }
+
+    #[test]
+    fn merge_min_folds_options() {
+        assert_eq!(merge_min(None, None), None);
+        assert_eq!(merge_min(Some(ps(5)), None), Some(ps(5)));
+        assert_eq!(merge_min(None, Some(ps(7))), Some(ps(7)));
+        assert_eq!(merge_min(Some(ps(9)), Some(ps(7))), Some(ps(7)));
+    }
+}

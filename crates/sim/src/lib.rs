@@ -20,6 +20,14 @@
 //! `sync_stages` producer-clock edges. This single type is the source of all
 //! clock-domain-crossing (CDC) cost in the Duet model.
 //!
+//! On top of the raw queues sits the **component graph** layer: ticking
+//! structures implement [`Component`] (tick / `next_event_time` / `is_active`
+//! / clock domain), and every edge between them is a typed, instrumented
+//! [`Link`] — synchronous FIFO, CDC crossing, or explicitly-timed pipe — that
+//! counts occupancy and backpressure stalls. The shared [`Horizon`]
+//! accumulator merges per-component event times for the event-horizon
+//! scheduler.
+//!
 //! # Example
 //!
 //! ```
@@ -38,13 +46,19 @@
 //! ```
 
 pub mod clock;
+pub mod component;
 pub mod fifo;
+pub mod horizon;
+pub mod link;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use clock::{Clock, DualClock, EdgeDomain};
+pub use component::{ClockDomain, Component};
 pub use fifo::{AsyncFifo, Fifo, PushError};
+pub use horizon::{merge_min, Horizon};
+pub use link::{Link, LinkReport, LinkStats};
 pub use rng::SimRng;
 pub use stats::{Counter, LatencyBreakdown, RunningStats};
 pub use time::Time;

@@ -21,6 +21,58 @@ pub enum Variant {
     ProcOnly,
 }
 
+/// Why a [`SystemConfig`] cannot be built into a
+/// [`System`](crate::System). Returned by [`SystemConfig::validate`] (and
+/// hence `System::new`) instead of panicking deep inside wiring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `processors == 0`: the OS stub, IRQ target, and MMIO id plumbing
+    /// all assume at least one P-tile.
+    NoProcessors,
+    /// Memory Hubs requested without an eFPGA to host them.
+    HubsWithoutFpga {
+        /// The offending `memory_hubs` count.
+        memory_hubs: usize,
+    },
+    /// The Duet / FPSoC variants model an eFPGA; `has_fpga` must be set.
+    VariantRequiresFpga {
+        /// The offending variant.
+        variant: Variant,
+    },
+    /// The eFPGA clock must be a positive, finite frequency.
+    InvalidFpgaClock {
+        /// The offending frequency in MHz.
+        mhz: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoProcessors => {
+                write!(
+                    f,
+                    "configuration has no processors (need at least one P-tile)"
+                )
+            }
+            ConfigError::HubsWithoutFpga { memory_hubs } => {
+                write!(f, "{memory_hubs} memory hub(s) configured without an eFPGA")
+            }
+            ConfigError::VariantRequiresFpga { variant } => {
+                write!(f, "variant {variant:?} requires an eFPGA (has_fpga = true)")
+            }
+            ConfigError::InvalidFpgaClock { mhz } => {
+                write!(
+                    f,
+                    "invalid eFPGA clock: {mhz} MHz (must be positive and finite)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full system configuration. Use the constructors, then adjust fields.
 #[derive(Clone, Copy, Debug)]
 pub struct SystemConfig {
@@ -81,6 +133,31 @@ impl SystemConfig {
             proxy_mshrs: 8,
             mmio_base: 0x4000_0000,
         }
+    }
+
+    /// Checks the configuration for inconsistencies that would make the
+    /// assembled system malformed. `System::new` calls this and refuses to
+    /// build on error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.processors == 0 {
+            return Err(ConfigError::NoProcessors);
+        }
+        if !self.has_fpga {
+            if self.memory_hubs > 0 {
+                return Err(ConfigError::HubsWithoutFpga {
+                    memory_hubs: self.memory_hubs,
+                });
+            }
+            if self.variant != Variant::ProcOnly {
+                return Err(ConfigError::VariantRequiresFpga {
+                    variant: self.variant,
+                });
+            }
+        }
+        if self.has_fpga && !(self.fpga_mhz.is_finite() && self.fpga_mhz > 0.0) {
+            return Err(ConfigError::InvalidFpgaClock { mhz: self.fpga_mhz });
+        }
+        Ok(())
     }
 
     /// Total number of tiles: P-tiles + C-tile + M-tiles.
@@ -202,6 +279,44 @@ mod tests {
         let (w, h) = c.mesh_dims();
         assert!(w * h >= 17);
         assert!(w.abs_diff(h) <= 1);
+    }
+
+    #[test]
+    fn validate_accepts_the_stock_constructors() {
+        assert_eq!(SystemConfig::dolly(2, 2, 100.0).validate(), Ok(()));
+        assert_eq!(SystemConfig::fpsoc(1, 1, 137.0).validate(), Ok(()));
+        assert_eq!(SystemConfig::proc_only(4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_configs() {
+        let mut c = SystemConfig::proc_only(0);
+        assert_eq!(c.validate(), Err(ConfigError::NoProcessors));
+        c = SystemConfig::proc_only(1);
+        c.memory_hubs = 2;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::HubsWithoutFpga { memory_hubs: 2 })
+        );
+        c = SystemConfig::dolly(1, 1, 100.0);
+        c.has_fpga = false;
+        c.memory_hubs = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::VariantRequiresFpga {
+                variant: Variant::Duet
+            })
+        );
+        c = SystemConfig::dolly(1, 1, 0.0);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InvalidFpgaClock { mhz: 0.0 })
+        );
+        c = SystemConfig::dolly(1, 1, f64::NAN);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidFpgaClock { .. })
+        ));
     }
 
     #[test]

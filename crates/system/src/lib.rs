@@ -26,7 +26,7 @@
 //! use duet_sim::Time;
 //! use std::sync::Arc;
 //!
-//! let mut sys = System::new(SystemConfig::proc_only(1));
+//! let mut sys = System::new(SystemConfig::proc_only(1)).expect("valid config");
 //! let mut a = Asm::new();
 //! a.label("main");
 //! a.li(regs::T[0], 0x1000);
@@ -43,7 +43,11 @@
 
 pub mod config;
 pub mod metrics;
+mod run_loop;
+mod stats;
 pub mod system;
+mod wiring;
 
-pub use config::{SystemConfig, Variant};
-pub use system::{RunStats, System};
+pub use config::{ConfigError, SystemConfig, Variant};
+pub use stats::RunStats;
+pub use system::System;

@@ -1,0 +1,72 @@
+//! Run statistics and link-occupancy reporting.
+
+use duet_sim::LinkReport;
+
+use crate::system::System;
+
+/// Aggregated run metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Fast-clock edges executed.
+    pub fast_edges: u64,
+    /// Slow-clock edges executed.
+    pub slow_edges: u64,
+    /// Exceptions observed by the OS stub.
+    pub exceptions: u64,
+    /// Page faults handled.
+    pub page_faults: u64,
+}
+
+impl System {
+    /// Run statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Clock edges the host actually executed (dead edges skipped by
+    /// event-horizon scheduling are *not* counted here, unlike the
+    /// reconstructed [`RunStats`] counters). Host-performance metric only.
+    pub fn executed_edges(&self) -> u64 {
+        self.executed_edges
+    }
+
+    /// Snapshots every link in the component graph: `(name, report)` pairs
+    /// with names prefixed by the owning component (e.g.
+    /// `mesh.n3.west.req`, `hub0@n2.fabric_resp`, `inject@n1`).
+    ///
+    /// Occupancy/stall counters driven by successful data movement are
+    /// deterministic across edge-skip modes; `rejected_pushes` counts
+    /// *attempts* and may differ (gated components never retry), so keep it
+    /// out of determinism fingerprints.
+    pub fn link_reports(&self) -> Vec<(String, LinkReport)> {
+        let mut out = Vec::new();
+        self.visit_components(&mut |c| {
+            let base = c.name();
+            c.visit_links(&mut |name, report| out.push((format!("{base}.{name}"), report)));
+            true
+        });
+        for (n, link) in self.inject_pending.iter().enumerate() {
+            out.push((format!("inject@n{n}"), link.report()));
+        }
+        for (h, cdc) in self.slow_cdc.iter().enumerate() {
+            out.push((format!("slowcdc{h}.into_hub"), cdc.into_hub.report()));
+            out.push((format!("slowcdc{h}.from_hub"), cdc.from_hub.report()));
+        }
+        out
+    }
+
+    /// Snapshot of (edges retired, sim time) at run-loop entry.
+    pub(crate) fn begin_batch(&self) -> (u64, duet_sim::Time) {
+        (self.stats.fast_edges + self.stats.slow_edges, self.now)
+    }
+
+    /// Publishes the loop's edge/sim-time deltas to the process-wide
+    /// throughput counters (skipped edges count: they were retired).
+    pub(crate) fn end_batch(&self, (edges0, t0): (u64, duet_sim::Time)) {
+        let edges = (self.stats.fast_edges + self.stats.slow_edges).saturating_sub(edges0);
+        let sim_ps = self.now.saturating_sub(t0).as_ps();
+        if edges > 0 || sim_ps > 0 {
+            crate::metrics::record(edges, sim_ps);
+        }
+    }
+}

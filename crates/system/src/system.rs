@@ -1,163 +1,73 @@
 //! The assembled Dolly system: cores + L1/L2 + distributed L3 + NoC +
 //! Duet Adapter + eFPGA, driven by a dual-clock edge loop.
+//!
+//! This module holds the [`System`] state and its inspection/configuration
+//! surface. Construction and the component registry live in `wiring`, the
+//! dual-clock run loop in `run_loop`, and statistics/link reporting in
+//! `stats`.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use duet_core::{DuetAdapter, DuetMsg, IrqCause, RegMode};
+use duet_core::{DuetAdapter, DuetMsg, RegMode};
 use duet_cpu::{Core, Program};
 use duet_fpga::ports::SoftAccelerator;
-use duet_mem::msg::CoherenceMsg;
 use duet_mem::priv_cache::{HomeMap, LineState, PrivCache};
-use duet_mem::tlb::{PagePerms, PageTable, Vpn};
+use duet_mem::tlb::{PagePerms, PageTable};
 use duet_mem::types::{read_scalar, LineAddr, MemReq, Width, LINE_BYTES};
 use duet_mem::L3Shard;
-use duet_noc::{Mesh, MeshConfig, Message, NodeId, VNet};
-use duet_sim::{AsyncFifo, DualClock, EdgeDomain, Time};
+use duet_noc::{Mesh, NodeId};
+use duet_sim::{DualClock, Link, Time};
 
 use crate::config::{SystemConfig, Variant};
-use duet_core::control_hub::mmio_map;
+use crate::run_loop::OsTask;
+use crate::wiring::SlowHubCdc;
 
-/// Id-space tag for MMIOs generated by the OS stub (responses discarded).
-const OS_ID_BASE: u64 = 1 << 62;
-
-/// CDC wrapper for a slow-domain Memory Hub's NoC side (FPSoC variant).
-struct SlowHubCdc {
-    /// Fast → slow: ejected coherence messages heading into the hub.
-    into_hub: AsyncFifo<(NodeId, CoherenceMsg, Time)>,
-    /// Slow → fast: hub responses heading onto the NoC.
-    from_hub: AsyncFifo<(NodeId, CoherenceMsg)>,
-}
-
-/// A deferred OS action (page-fault handling).
-#[derive(Clone, Debug)]
-enum OsTask {
-    TlbFill { vaddr: u64, hub: usize },
-}
-
-/// Aggregated run metrics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RunStats {
-    /// Fast-clock edges executed.
-    pub fast_edges: u64,
-    /// Slow-clock edges executed.
-    pub slow_edges: u64,
-    /// Exceptions observed by the OS stub.
-    pub exceptions: u64,
-    /// Page faults handled.
-    pub page_faults: u64,
-}
+pub use crate::stats::RunStats;
 
 /// The full simulated system. Build with [`System::new`], load memory and
 /// programs, then [`run_until_halt`](System::run_until_halt).
 pub struct System {
-    cfg: SystemConfig,
-    dual: DualClock,
-    mesh: Mesh<DuetMsg>,
-    cores: Vec<Core>,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) dual: DualClock,
+    pub(crate) mesh: Mesh<DuetMsg>,
+    pub(crate) cores: Vec<Core>,
     /// Per-core private L2 (index = core index; node = core node).
-    l2s: Vec<PrivCache>,
+    pub(crate) l2s: Vec<PrivCache>,
     /// One shard per mesh node.
-    shards: Vec<L3Shard>,
-    adapter: Option<DuetAdapter>,
-    accel: Option<Box<dyn SoftAccelerator>>,
-    home: HomeMap,
-    /// Per-node pending injections (mesh backpressure buffers).
-    inject_pending: Vec<VecDeque<(NodeId, DuetMsg)>>,
+    pub(crate) shards: Vec<L3Shard>,
+    pub(crate) adapter: Option<DuetAdapter>,
+    pub(crate) accel: Option<Box<dyn SoftAccelerator>>,
+    pub(crate) home: HomeMap,
+    /// Per-node injection pipes toward the mesh (backpressure buffers).
+    pub(crate) inject_pending: Vec<Link<(NodeId, DuetMsg)>>,
     /// Total entries across `inject_pending` (O(1) activity check).
-    inject_pending_total: usize,
+    pub(crate) inject_pending_total: usize,
     /// Core cached-request held when the L2 queue is full.
-    core_held: Vec<Option<MemReq>>,
+    pub(crate) core_held: Vec<Option<MemReq>>,
     /// MMIO id mangling: global id -> (core index, original id).
-    mmio_ids: BTreeMap<u64, (usize, u64)>,
-    next_mmio_id: u64,
+    pub(crate) mmio_ids: BTreeMap<u64, (usize, u64)>,
+    pub(crate) next_mmio_id: u64,
     /// OS model.
-    page_table: PageTable,
-    os_tasks: Vec<(Time, OsTask)>,
+    pub(crate) page_table: PageTable,
+    pub(crate) os_tasks: Vec<(Time, OsTask)>,
     /// CDC wrappers per hub (FPSoC variant only).
-    slow_cdc: Vec<SlowHubCdc>,
-    stats: RunStats,
+    pub(crate) slow_cdc: Vec<SlowHubCdc>,
+    pub(crate) stats: RunStats,
     /// Host-side counter of edges actually executed (not skipped). Unlike
     /// [`RunStats`] edge counts — which are reconstructed to match
     /// exhaustive ticking bit-for-bit — this differs between skip modes;
     /// it exists only for host-performance introspection.
-    executed_edges: u64,
-    now: Time,
+    pub(crate) executed_edges: u64,
+    pub(crate) now: Time,
     /// Event-horizon scheduling: when set (the default), run loops jump
     /// over provably-dead clock edges and fast edges skip provably-idle
     /// components. Cycle-for-cycle identical to exhaustive ticking; turn
     /// off only to cross-check (see the differential determinism tests).
-    skip_enabled: bool,
+    pub(crate) skip_enabled: bool,
 }
 
 impl System {
-    /// Builds an idle system.
-    pub fn new(cfg: SystemConfig) -> Self {
-        let (w, h) = cfg.mesh_dims();
-        let mesh_cfg = MeshConfig::new(w, h, cfg.clock);
-        let nodes = mesh_cfg.nodes();
-        let home = HomeMap::new((0..nodes).collect());
-        let cores = (0..cfg.processors)
-            .map(|i| Core::new(cfg.core_config(i), Arc::new(Program::default())))
-            .collect();
-        let l2s = (0..cfg.processors)
-            .map(|i| PrivCache::new(cfg.l2_config(), cfg.core_node(i), home.clone()))
-            .collect();
-        let shards = (0..nodes)
-            .map(|n| L3Shard::new(cfg.dir_config(), n))
-            .collect();
-        let adapter = cfg.has_fpga.then(|| {
-            let mut a = DuetAdapter::new(
-                cfg.adapter_config(),
-                cfg.ctile_node(),
-                &cfg.hub_nodes(),
-                home.clone(),
-                cfg.fpga_clock(),
-            );
-            // In the Duet variant the hubs start with default switches; in
-            // FPSoC the proxy runs slow but behaves identically otherwise.
-            let _ = &mut a;
-            a
-        });
-        let slow_cdc = if cfg.variant == Variant::Fpsoc {
-            let fast = cfg.clock;
-            let slow = cfg.fpga_clock();
-            (0..cfg.memory_hubs)
-                .map(|_| SlowHubCdc {
-                    into_hub: AsyncFifo::new(16, 2, fast, slow),
-                    from_hub: AsyncFifo::new(16, 2, slow, fast),
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        System {
-            dual: DualClock::new(cfg.clock, cfg.fpga_clock()),
-            mesh: Mesh::new(mesh_cfg),
-            cores,
-            l2s,
-            shards,
-            adapter,
-            accel: None,
-            home,
-            inject_pending: (0..nodes).map(|_| VecDeque::new()).collect(),
-            inject_pending_total: 0,
-            core_held: vec![None; cfg.processors],
-            mmio_ids: BTreeMap::new(),
-            next_mmio_id: 1,
-            page_table: PageTable::new(),
-            os_tasks: Vec::new(),
-            slow_cdc,
-            stats: RunStats::default(),
-            executed_edges: 0,
-            now: Time::ZERO,
-            // On unless DUET_DISABLE_EDGE_SKIP=1 (the exhaustive baseline
-            // loop, for A/B wall-clock comparisons; results are identical).
-            skip_enabled: !std::env::var("DUET_DISABLE_EDGE_SKIP").is_ok_and(|v| v == "1"),
-            cfg,
-        }
-    }
-
     /// Enables or disables event-horizon scheduling (dead-edge skipping
     /// and idle-component gating). On by default; both settings produce
     /// bit-identical results — the off position exists so tests can
@@ -174,18 +84,6 @@ impl System {
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.now
-    }
-
-    /// Run statistics.
-    pub fn stats(&self) -> RunStats {
-        self.stats
-    }
-
-    /// Clock edges the host actually executed (dead edges skipped by
-    /// event-horizon scheduling are *not* counted here, unlike the
-    /// reconstructed [`RunStats`] counters). Host-performance metric only.
-    pub fn executed_edges(&self) -> u64 {
-        self.executed_edges
     }
 
     /// Mutable access to core `i`.
@@ -323,6 +221,10 @@ impl System {
         self.shards[home].peek_line(line)
     }
 
+    pub(crate) fn core_index_at(&self, node: NodeId) -> Option<usize> {
+        (node < self.cfg.processors).then_some(node)
+    }
+
     /// The cached copy of `line` at `node`, if the node hosts a cache that
     /// holds it.
     fn component_line(&self, node: NodeId, line: LineAddr) -> Option<[u8; LINE_BYTES]> {
@@ -332,17 +234,11 @@ impl System {
         if let Some(a) = &self.adapter {
             for h in &a.hubs {
                 if h.node() == node {
-                    // Hub proxies expose peek via their cache stats only;
-                    // use the proxy peek through MemoryHub.
-                    return self.hub_peek(h, line);
+                    return h.peek_proxy_line(line);
                 }
             }
         }
         None
-    }
-
-    fn hub_peek(&self, hub: &duet_core::MemoryHub, line: LineAddr) -> Option<[u8; LINE_BYTES]> {
-        hub.peek_proxy_line(line)
     }
 
     /// Reads a coherently-visible u64.
@@ -400,599 +296,5 @@ impl System {
     pub fn map_identity(&mut self, base: u64, len: u64) {
         self.page_table
             .map_range_identity(base, len, PagePerms::rw());
-    }
-
-    // ----- main loop -----
-
-    fn core_index_at(&self, node: NodeId) -> Option<usize> {
-        (node < self.cfg.processors).then_some(node)
-    }
-
-    fn hub_index_at(&self, node: NodeId) -> Option<usize> {
-        let a = self.adapter.as_ref()?;
-        a.hubs.iter().position(|h| h.node() == node)
-    }
-
-    fn enqueue_msg(&mut self, src: NodeId, dst: NodeId, msg: DuetMsg) {
-        self.inject_pending[src].push_back((dst, msg));
-        self.inject_pending_total += 1;
-    }
-
-    fn pump_injections(&mut self, now: Time) {
-        if self.inject_pending_total == 0 {
-            return;
-        }
-        for src in 0..self.inject_pending.len() {
-            while let Some((dst, msg)) = self.inject_pending[src].front() {
-                let vnet = msg.vnet();
-                if !self.mesh.can_inject(src, vnet) {
-                    break;
-                }
-                let (dst, msg) = (*dst, self.inject_pending[src].pop_front().unwrap().1);
-                self.inject_pending_total -= 1;
-                let flits = msg.flits();
-                self.mesh
-                    .inject(now, Message::new(src, dst, vnet, flits, msg))
-                    .expect("space checked");
-            }
-        }
-    }
-
-    fn dispatch_ejections(&mut self, now: Time) {
-        let nodes = self.mesh.config().nodes();
-        for node in 0..nodes {
-            for &vnet in &VNet::ALL {
-                while let Some(m) = self.mesh.eject(node, vnet) {
-                    let flight = now.saturating_sub(m.injected_at);
-                    match m.payload {
-                        DuetMsg::Coherence(c) => {
-                            self.dispatch_coherence(now, node, m.src, c, flight)
-                        }
-                        DuetMsg::MmioReq { req, reply_to } => {
-                            let a = self
-                                .adapter
-                                .as_mut()
-                                .expect("MMIO to a system without an adapter");
-                            a.mmio_request(now, req, reply_to);
-                        }
-                        DuetMsg::MmioResp { resp } => {
-                            if resp.id >= OS_ID_BASE {
-                                continue; // OS-stub MMIO: fire and forget
-                            }
-                            let (core, orig) = self
-                                .mmio_ids
-                                .remove(&resp.id)
-                                .expect("MMIO response with unknown id");
-                            let mut r = resp;
-                            r.id = orig;
-                            self.cores[core].mem_response(r);
-                        }
-                        DuetMsg::Interrupt { cause, .. } => self.handle_irq(now, cause),
-                    }
-                }
-            }
-        }
-    }
-
-    fn dispatch_coherence(
-        &mut self,
-        now: Time,
-        node: NodeId,
-        src: NodeId,
-        c: CoherenceMsg,
-        flight: Time,
-    ) {
-        match &c {
-            CoherenceMsg::GetS { .. }
-            | CoherenceMsg::GetM { .. }
-            | CoherenceMsg::PutM { .. }
-            | CoherenceMsg::WBData { .. }
-            | CoherenceMsg::Unblock { .. } => {
-                self.shards[node].handle_msg_with_flight(now, src, c, flight);
-            }
-            _ => {
-                if let Some(i) = self.core_index_at(node) {
-                    self.l2s[i].handle_msg(now, src, c, flight);
-                } else if let Some(h) = self.hub_index_at(node) {
-                    if self.cfg.variant == Variant::Fpsoc {
-                        // Cross into the slow domain first.
-                        self.slow_cdc[h]
-                            .into_hub
-                            .push(now, (src, c, flight))
-                            .expect("slow-hub CDC overflow");
-                    } else {
-                        self.adapter.as_mut().unwrap().hubs[h].handle_noc(now, src, c, flight);
-                    }
-                } else {
-                    panic!("cache-bound coherence message to node {node} with no cache");
-                }
-            }
-        }
-    }
-
-    fn handle_irq(&mut self, now: Time, cause: IrqCause) {
-        let delay = self.cfg.clock.period().mul(self.cfg.kernel_latency_cycles);
-        match cause {
-            IrqCause::PageFault { vaddr, hub, .. } => {
-                self.stats.page_faults += 1;
-                self.os_tasks
-                    .push((now + delay, OsTask::TlbFill { vaddr, hub }));
-            }
-            IrqCause::Exception { .. } => {
-                self.stats.exceptions += 1;
-            }
-        }
-    }
-
-    fn run_os_tasks(&mut self, now: Time) {
-        if self.os_tasks.is_empty() {
-            return;
-        }
-        let ready: Vec<OsTask> = {
-            let mut out = Vec::new();
-            self.os_tasks.retain(|(t, task)| {
-                if *t <= now {
-                    out.push(task.clone());
-                    false
-                } else {
-                    true
-                }
-            });
-            out
-        };
-        for task in ready {
-            match task {
-                OsTask::TlbFill { vaddr, hub } => {
-                    let vpn = Vpn::containing(vaddr);
-                    match self.page_table.lookup(vpn) {
-                        Some((ppn, perms)) => {
-                            let base = self.cfg.mmio_base
-                                + mmio_map::HUB_BASE
-                                + hub as u64 * mmio_map::HUB_STRIDE;
-                            let mut enc = ppn.0;
-                            if perms.read {
-                                enc |= 1 << 62;
-                            }
-                            if perms.write {
-                                enc |= 1 << 63;
-                            }
-                            self.os_mmio_write(base + mmio_map::HUB_TLB_VPN, vpn.0);
-                            self.os_mmio_write(base + mmio_map::HUB_TLB_PPN, enc);
-                        }
-                        None => {
-                            let base = self.cfg.mmio_base
-                                + mmio_map::HUB_BASE
-                                + hub as u64 * mmio_map::HUB_STRIDE;
-                            self.os_mmio_write(base + mmio_map::HUB_KILL, 1);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Sends a fire-and-forget MMIO write on behalf of the kernel from the
-    /// IRQ-target core's node.
-    fn os_mmio_write(&mut self, addr: u64, value: u64) {
-        let id = OS_ID_BASE + self.next_mmio_id;
-        self.next_mmio_id += 1;
-        let src = 0;
-        let dst = self.cfg.ctile_node();
-        let req = MemReq::store(id, addr, Width::B8, value);
-        self.enqueue_msg(src, dst, DuetMsg::MmioReq { req, reply_to: src });
-    }
-
-    fn fast_edge(&mut self, now: Time) {
-        self.stats.fast_edges += 1;
-        self.run_os_tasks(now);
-        self.pump_injections(now);
-        self.mesh.tick(now);
-        if self.mesh.has_ejections() {
-            self.dispatch_ejections(now);
-        }
-
-        // With event-horizon scheduling, components whose `is_active` /
-        // `next_event_time` contract proves this edge is a no-op for them
-        // are skipped. Each skip below is bit-exact: the skipped calls
-        // would neither mutate state nor touch statistics.
-        let gate = self.skip_enabled;
-
-        // L2s: tick, collect outgoing, deliver responses + back-invals.
-        for i in 0..self.cores.len() {
-            if gate && self.core_held[i].is_none() && !self.l2s[i].is_active() {
-                continue;
-            }
-            // Retry a held request first.
-            if let Some(req) = self.core_held[i].take() {
-                if self.l2s[i].can_accept() {
-                    self.l2s[i].cpu_request(req);
-                } else {
-                    self.core_held[i] = Some(req);
-                }
-            }
-            self.l2s[i].tick(now);
-            let node = self.cfg.core_node(i);
-            while let Some((dst, msg)) = self.l2s[i].pop_outgoing(now) {
-                self.enqueue_msg(node, dst, DuetMsg::Coherence(msg));
-            }
-            for (line, _) in self.l2s[i].take_back_invalidations() {
-                self.cores[i].back_invalidate(line);
-            }
-            while let Some(resp) = self.l2s[i].pop_cpu_resp(now) {
-                self.cores[i].mem_response(resp);
-            }
-        }
-
-        // Shards.
-        for s in 0..self.shards.len() {
-            if gate && !self.shards[s].is_active() {
-                continue;
-            }
-            self.shards[s].tick(now);
-            let node = self.shards[s].node();
-            while let Some((dst, msg)) = self.shards[s].pop_outgoing(now) {
-                self.enqueue_msg(node, dst, DuetMsg::Coherence(msg));
-            }
-        }
-
-        // Adapter: control hub always fast; hubs fast except in FPSoC.
-        let fpsoc = self.cfg.variant == Variant::Fpsoc;
-        let adapter_live = !gate
-            || self
-                .adapter
-                .as_ref()
-                .is_some_and(|a| a.is_active(now, !fpsoc))
-            || (fpsoc
-                && self
-                    .slow_cdc
-                    .iter()
-                    .any(|c| c.from_hub.front_ready_at().is_some_and(|t| t <= now)));
-        if adapter_live {
-            if let Some(mut a) = self.adapter.take() {
-                a.tick_parts(now, !fpsoc);
-                let ctl_node = a.control.node();
-                while let Some((dst, msg)) = a.pop_outgoing(now) {
-                    self.enqueue_msg(ctl_node, dst, msg);
-                }
-                if fpsoc {
-                    // Drain hub→NoC CDC FIFOs (fast side).
-                    for (h, cdc) in self.slow_cdc.iter_mut().enumerate() {
-                        let node = a.hubs[h].node();
-                        while let Some((dst, msg)) = cdc.from_hub.pop(now) {
-                            self.inject_pending[node].push_back((dst, DuetMsg::Coherence(msg)));
-                            self.inject_pending_total += 1;
-                        }
-                    }
-                } else {
-                    for h in 0..a.hubs.len() {
-                        let node = a.hubs[h].node();
-                        while let Some((dst, msg)) = a.hubs[h].pop_outgoing(now) {
-                            self.inject_pending[node].push_back((dst, DuetMsg::Coherence(msg)));
-                            self.inject_pending_total += 1;
-                        }
-                    }
-                }
-                self.adapter = Some(a);
-            }
-        }
-
-        // Cores: deliver requests to L2 or the NoC (MMIO).
-        for i in 0..self.cores.len() {
-            if gate && self.cores[i].next_event_time(now).is_none_or(|t| t > now) {
-                // The core would either do nothing this edge or only bump
-                // a stall counter; reconstruct that without ticking.
-                self.cores[i].account_skipped_edges(1);
-                continue;
-            }
-            self.cores[i].tick(now);
-            while self.core_held[i].is_none() {
-                let Some(req) = self.cores[i].pop_mem_request() else {
-                    break;
-                };
-                if self.cores[i].is_mmio(req.addr) {
-                    let id = self.next_mmio_id;
-                    self.next_mmio_id += 1;
-                    self.mmio_ids.insert(id, (i, req.id));
-                    let mut r = req;
-                    r.id = id;
-                    let node = self.cfg.core_node(i);
-                    let dst = self.cfg.ctile_node();
-                    self.enqueue_msg(
-                        node,
-                        dst,
-                        DuetMsg::MmioReq {
-                            req: r,
-                            reply_to: node,
-                        },
-                    );
-                } else if self.l2s[i].can_accept() {
-                    self.l2s[i].cpu_request(req);
-                } else {
-                    self.core_held[i] = Some(req);
-                }
-            }
-        }
-    }
-
-    fn slow_edge(&mut self, now: Time) {
-        self.stats.slow_edges += 1;
-        // Slow edges execute whenever they are due, but their *components*
-        // are gated like fast-edge ones: a hub with no due event and an
-        // accelerator attesting idleness (with no fabric-bound input that
-        // could wake it) would tick as provable no-ops.
-        let gate = self.skip_enabled;
-        if self.cfg.variant == Variant::Fpsoc {
-            if let Some(a) = self.adapter.as_mut() {
-                for (h, cdc) in self.slow_cdc.iter_mut().enumerate() {
-                    if gate
-                        && cdc.into_hub.front_ready_at().is_none_or(|t| t > now)
-                        && a.hubs[h].next_event_time(now).is_none_or(|t| t > now)
-                    {
-                        continue;
-                    }
-                    while let Some((src, msg, flight)) = cdc.into_hub.pop(now) {
-                        a.hubs[h].handle_noc(now, src, msg, flight);
-                    }
-                    a.tick_hub(h, now);
-                    while let Some((dst, msg)) = a.hubs[h].pop_outgoing(now) {
-                        cdc.from_hub
-                            .push(now, (dst, msg))
-                            .expect("slow-hub CDC overflow (out)");
-                    }
-                }
-            }
-        }
-        if let (Some(a), Some(accel)) = (self.adapter.as_mut(), self.accel.as_mut()) {
-            if gate && accel.is_idle() && !a.fabric_input_pending() {
-                return;
-            }
-            if a.take_reset() {
-                accel.reset();
-            }
-            let mut ports = a.fabric_ports(now);
-            accel.tick(&mut ports);
-        }
-    }
-
-    /// Advances to the next clock edge (fast and/or slow) and executes it.
-    pub fn step_edge(&mut self) -> (Time, EdgeDomain) {
-        let (t, d) = self.dual.next_edge();
-        self.executed_edges += 1;
-        self.now = t;
-        if d.fast() {
-            self.fast_edge(t);
-        }
-        if d.slow() {
-            self.slow_edge(t);
-        }
-        (t, d)
-    }
-
-    /// The earliest future instant at which any component could act, or
-    /// `None` if the system is provably inert (every component reports no
-    /// upcoming event).
-    ///
-    /// Every clock edge strictly before the returned time is a *dead
-    /// edge*: executing it would change nothing except the edge counters
-    /// and stalled-core cycle statistics, both of which
-    /// [`step_event`](System::run_until_halt) reconstructs arithmetically
-    /// when it jumps. A result `<= now` means the next edge must execute;
-    /// when several components are already due, any one of their times may
-    /// be returned (callers only compare against `now`, so the scan stops
-    /// at the first component that pins the horizon). Conservatively-early
-    /// results are always sound (the edge executes as a no-op, exactly as
-    /// exhaustive ticking would).
-    pub fn next_event_time(&self) -> Option<Time> {
-        let now = self.now;
-        // Anything retrying every edge pins the horizon to `now`.
-        if self.inject_pending_total > 0 || self.core_held.iter().any(|h| h.is_some()) {
-            return Some(now);
-        }
-        let mut earliest: Option<Time> = None;
-        // Fold a candidate in; a candidate that is already due ends the
-        // scan — cheaper horizons first, so a busy core (the common case
-        // while simulated work is in flight) costs one probe, not a walk
-        // of every component.
-        macro_rules! merge {
-            ($t:expr) => {{
-                let t: Time = $t;
-                if t <= now {
-                    return Some(t);
-                }
-                earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
-            }};
-        }
-        for c in &self.cores {
-            if let Some(t) = c.next_event_time(now) {
-                merge!(t);
-            }
-        }
-        for (t, _) in &self.os_tasks {
-            merge!(*t);
-        }
-        if let Some(t) = self.mesh.next_event_time(now) {
-            merge!(t);
-        }
-        for l2 in &self.l2s {
-            if let Some(t) = l2.next_event_time(now) {
-                merge!(t);
-            }
-        }
-        for s in &self.shards {
-            if let Some(t) = s.next_event_time(now) {
-                merge!(t);
-            }
-        }
-        let fpsoc = self.cfg.variant == Variant::Fpsoc;
-        if let Some(a) = &self.adapter {
-            if let Some(t) = a.next_event_time(now, !fpsoc) {
-                merge!(t);
-            }
-        }
-        for cdc in &self.slow_cdc {
-            if let Some(t) = cdc.from_hub.front_ready_at() {
-                merge!(t);
-            }
-            if let Some(t) = cdc.into_hub.front_ready_at() {
-                merge!(t);
-            }
-        }
-        // The accelerator ticks on every slow edge. Unless it attests
-        // idleness — and no fabric-bound input sits in a CDC FIFO that
-        // could wake it — every slow edge must execute.
-        let accel_hot = self.accel.as_ref().is_some_and(|a| {
-            !a.is_idle()
-                || self
-                    .adapter
-                    .as_ref()
-                    .is_some_and(|ad| ad.fabric_input_pending())
-        });
-        if accel_hot {
-            merge!(self.dual.next_slow_edge());
-        }
-        // FPSoC moves the Memory Hubs into the slow domain: their events
-        // fire on slow edges, so merge their horizons here (the fast-side
-        // adapter merge above excluded them). A horizon that lands between
-        // slow edges just pins intermediate edges as no-ops, exactly as
-        // exhaustive ticking would execute them.
-        if fpsoc {
-            if let Some(a) = &self.adapter {
-                for h in &a.hubs {
-                    if let Some(t) = h.next_event_time(now) {
-                        merge!(t);
-                    }
-                }
-            }
-        }
-        earliest
-    }
-
-    /// Advances to — and executes — the next clock edge that can do work,
-    /// skipping any provably-dead edges in between. `limit` bounds the
-    /// jump so deadline panics fire on the same edge as exhaustive
-    /// stepping.
-    fn step_event(&mut self, limit: Time) -> (Time, EdgeDomain) {
-        if self.skip_enabled {
-            if let Some(horizon) = self.next_event_time() {
-                // Edges strictly before the horizon are dead; the +1ps
-                // past-`limit` clamp keeps the first out-of-deadline edge
-                // executed (so the panic edge matches baseline stats).
-                let bound = limit.checked_add(Time::from_ps(1)).unwrap_or(Time::MAX);
-                let target = horizon.min(bound);
-                if target > self.now {
-                    let (fast, slow) = self.dual.advance_to(target);
-                    if fast > 0 || slow > 0 {
-                        self.stats.fast_edges += fast;
-                        self.stats.slow_edges += slow;
-                        for c in &mut self.cores {
-                            c.account_skipped_edges(fast);
-                        }
-                    }
-                }
-            }
-            // `None` (fully inert system) falls through to plain stepping,
-            // reproducing the baseline spin-to-deadline behavior.
-        }
-        self.step_edge()
-    }
-
-    /// Whether every core has halted.
-    pub fn all_halted(&self) -> bool {
-        self.cores.iter().all(|c| c.is_halted())
-    }
-
-    /// Runs until every core halts. Returns the halt time.
-    ///
-    /// Dead clock edges (no component can act) are skipped arithmetically;
-    /// halt time and every statistic are identical to edge-by-edge
-    /// stepping.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the deadline passes first (deadlock/livelock guard).
-    pub fn run_until_halt(&mut self, deadline: Time) -> Time {
-        let batch = self.begin_batch();
-        while !self.all_halted() {
-            let (t, _) = self.step_event(deadline);
-            assert!(t <= deadline, "system did not halt before {deadline}");
-        }
-        self.end_batch(batch);
-        self.now
-    }
-
-    /// Runs until `pred` holds, checked after every *executed* edge.
-    ///
-    /// Dead edges are skipped, so a predicate should depend on component
-    /// state (which only changes at executed edges), not on wall-clock
-    /// instants; use [`run_until_time`](System::run_until_time) to stop at
-    /// a time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the deadline passes first.
-    pub fn run_until(&mut self, deadline: Time, mut pred: impl FnMut(&System) -> bool) -> Time {
-        let batch = self.begin_batch();
-        while !pred(self) {
-            let (t, _) = self.step_event(deadline);
-            assert!(t <= deadline, "condition not reached before {deadline}");
-        }
-        self.end_batch(batch);
-        self.now
-    }
-
-    /// Runs until simulated time reaches at least `until` (or every core
-    /// halts first), skipping dead edges. Returns the last executed edge
-    /// time.
-    pub fn run_until_time(&mut self, until: Time) -> Time {
-        let batch = self.begin_batch();
-        while self.now < until && !self.all_halted() {
-            // `until` doubles as the skip limit so the jump never
-            // overshoots the requested instant by more than one edge.
-            self.step_event(until);
-        }
-        self.end_batch(batch);
-        self.now
-    }
-
-    /// Runs until all queues everywhere drain (after halting).
-    pub fn quiesce(&mut self, deadline: Time) -> Time {
-        let batch = self.begin_batch();
-        while !self.is_quiescent() {
-            let (t, _) = self.step_event(deadline);
-            assert!(t <= deadline, "system did not quiesce before {deadline}");
-        }
-        self.end_batch(batch);
-        self.now
-    }
-
-    /// Whether every queue in the memory system has drained. O(cores +
-    /// shards): the mesh and injection buffers answer in O(1) via their
-    /// activity tracking.
-    fn is_quiescent(&self) -> bool {
-        self.mesh.is_idle()
-            && self.inject_pending_total == 0
-            && self.l2s.iter().all(|c| c.is_idle())
-            && self.shards.iter().all(|s| s.is_idle())
-            && self
-                .adapter
-                .as_ref()
-                .is_none_or(|a| a.control.is_idle() && a.hubs.iter().all(|h| h.proxy_is_quiet()))
-    }
-
-    // ----- throughput accounting -----
-
-    /// Snapshot of (edges retired, sim time) at run-loop entry.
-    fn begin_batch(&self) -> (u64, Time) {
-        (self.stats.fast_edges + self.stats.slow_edges, self.now)
-    }
-
-    /// Publishes the loop's edge/sim-time deltas to the process-wide
-    /// throughput counters (skipped edges count: they were retired).
-    fn end_batch(&self, (edges0, t0): (u64, Time)) {
-        let edges = (self.stats.fast_edges + self.stats.slow_edges).saturating_sub(edges0);
-        let sim_ps = self.now.saturating_sub(t0).as_ps();
-        if edges > 0 || sim_ps > 0 {
-            crate::metrics::record(edges, sim_ps);
-        }
     }
 }

@@ -1,0 +1,137 @@
+//! System construction: component instantiation, link wiring, and the
+//! canonical component registry walk.
+//!
+//! [`System::new`] validates the [`SystemConfig`], builds every component
+//! (cores, private L2s, L3 shards, mesh, adapter), and wires the
+//! cross-component links: per-node injection pipes toward the mesh and —
+//! for the FPSoC variant — the [`SlowHubCdc`] clock-domain crossings that
+//! carry coherence traffic into and out of the slow-domain Memory Hubs.
+
+use std::sync::Arc;
+
+use duet_cpu::{Core, Program};
+use duet_mem::priv_cache::{HomeMap, PrivCache};
+use duet_mem::tlb::PageTable;
+use duet_mem::L3Shard;
+use duet_noc::{Mesh, MeshConfig};
+use duet_sim::{Component, DualClock, Link, Time};
+
+use crate::config::{ConfigError, SystemConfig, Variant};
+use crate::stats::RunStats;
+use crate::system::System;
+use duet_core::DuetAdapter;
+use duet_mem::msg::CoherenceMsg;
+use duet_noc::NodeId;
+
+/// CDC wrapper for a slow-domain Memory Hub's NoC side (FPSoC variant).
+pub(crate) struct SlowHubCdc {
+    /// Fast → slow: ejected coherence messages heading into the hub.
+    pub(crate) into_hub: Link<(NodeId, CoherenceMsg, Time)>,
+    /// Slow → fast: hub responses heading onto the NoC.
+    pub(crate) from_hub: Link<(NodeId, CoherenceMsg)>,
+}
+
+impl System {
+    /// Builds an idle system, or reports why the configuration cannot be
+    /// built (see [`SystemConfig::validate`]).
+    pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let (w, h) = cfg.mesh_dims();
+        let mesh_cfg = MeshConfig::new(w, h, cfg.clock);
+        let nodes = mesh_cfg.nodes();
+        let home = HomeMap::new((0..nodes).collect());
+        let cores = (0..cfg.processors)
+            .map(|i| Core::new(cfg.core_config(i), Arc::new(Program::default())))
+            .collect();
+        let l2s = (0..cfg.processors)
+            .map(|i| PrivCache::new(cfg.l2_config(), cfg.core_node(i), home.clone()))
+            .collect();
+        let shards = (0..nodes)
+            .map(|n| L3Shard::new(cfg.dir_config(), n))
+            .collect();
+        let adapter = cfg.has_fpga.then(|| {
+            DuetAdapter::new(
+                cfg.adapter_config(),
+                cfg.ctile_node(),
+                &cfg.hub_nodes(),
+                home.clone(),
+                cfg.fpga_clock(),
+            )
+        });
+        let slow_cdc = if cfg.variant == Variant::Fpsoc {
+            let fast = cfg.clock;
+            let slow = cfg.fpga_clock();
+            (0..cfg.memory_hubs)
+                .map(|_| SlowHubCdc {
+                    into_hub: Link::cdc(16, 2, fast, slow),
+                    from_hub: Link::cdc(16, 2, slow, fast),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(System {
+            dual: DualClock::new(cfg.clock, cfg.fpga_clock()),
+            mesh: Mesh::new(mesh_cfg),
+            cores,
+            l2s,
+            shards,
+            adapter,
+            accel: None,
+            home,
+            inject_pending: (0..nodes).map(|_| Link::pipe()).collect(),
+            inject_pending_total: 0,
+            core_held: vec![None; cfg.processors],
+            mmio_ids: std::collections::BTreeMap::new(),
+            next_mmio_id: 1,
+            page_table: PageTable::new(),
+            os_tasks: Vec::new(),
+            slow_cdc,
+            stats: RunStats::default(),
+            executed_edges: 0,
+            now: Time::ZERO,
+            // On unless DUET_DISABLE_EDGE_SKIP=1 (the exhaustive baseline
+            // loop, for A/B wall-clock comparisons; results are identical).
+            skip_enabled: !std::env::var("DUET_DISABLE_EDGE_SKIP").is_ok_and(|v| v == "1"),
+            cfg,
+        })
+    }
+
+    /// Walks every registered [`Component`] in canonical order: cores, the
+    /// mesh, private L2s, L3 shards, then the adapter's Control Hub and
+    /// Memory Hubs. The visitor returns `false` to stop the walk early
+    /// (used by the horizon merge once a component is already due).
+    ///
+    /// Merge *order* never affects results — a horizon is a pure minimum —
+    /// so this single walk serves both scheduling and reporting.
+    pub(crate) fn visit_components(&self, visit: &mut dyn FnMut(&dyn Component) -> bool) {
+        for c in &self.cores {
+            if !visit(c) {
+                return;
+            }
+        }
+        if !visit(&self.mesh) {
+            return;
+        }
+        for l2 in &self.l2s {
+            if !visit(l2) {
+                return;
+            }
+        }
+        for s in &self.shards {
+            if !visit(s) {
+                return;
+            }
+        }
+        if let Some(a) = &self.adapter {
+            if !visit(&a.control) {
+                return;
+            }
+            for h in &a.hubs {
+                if !visit(h) {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -107,7 +107,7 @@ impl SoftAccelerator for LineSummer {
 
 #[test]
 fn two_cores_contend_on_an_atomic_counter() {
-    let mut sys = System::new(SystemConfig::proc_only(2));
+    let mut sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
     let mut a = Asm::new();
     a.label("main");
     a.li(regs::T[0], 0x2000);
@@ -130,7 +130,7 @@ fn two_cores_contend_on_an_atomic_counter() {
 #[test]
 fn producer_consumer_through_shared_memory() {
     // Core 0 writes a flag+value; core 1 spins on the flag then reads.
-    let mut sys = System::new(SystemConfig::proc_only(2));
+    let mut sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
     let mut a = Asm::new();
     a.label("producer");
     a.li(regs::T[0], 0x3000);
@@ -160,7 +160,7 @@ fn producer_consumer_through_shared_memory() {
 
 #[test]
 fn core_reaches_accelerator_through_shadow_registers() {
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     sys.set_reg_mode(0, RegMode::FpgaBound);
     sys.set_reg_mode(1, RegMode::CpuBound);
     sys.attach_accelerator(Box::new(EchoPlusOne::new(true)));
@@ -183,7 +183,7 @@ fn core_reaches_accelerator_through_shadow_registers() {
 
 #[test]
 fn accelerator_reads_coherent_memory_written_by_core() {
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     sys.set_reg_mode(0, RegMode::FpgaBound);
     sys.set_reg_mode(1, RegMode::CpuBound);
     sys.attach_accelerator(Box::new(LineSummer::new(true)));
@@ -216,7 +216,7 @@ fn accelerator_reads_coherent_memory_written_by_core() {
 #[test]
 fn fpsoc_variant_is_slower_than_duet_for_the_same_work() {
     let run = |cfg: SystemConfig| -> Time {
-        let mut sys = System::new(cfg);
+        let mut sys = System::new(cfg).expect("valid config");
         sys.set_reg_mode(0, RegMode::FpgaBound);
         sys.set_reg_mode(1, RegMode::CpuBound);
         let push_mode = cfg.variant == duet_system::Variant::Duet;
@@ -245,7 +245,7 @@ fn fpsoc_variant_is_slower_than_duet_for_the_same_work() {
 
 #[test]
 fn page_fault_is_serviced_by_the_os_stub() {
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     // Hub 0 in virtual-address mode.
     {
         let a = sys.adapter_mut();
@@ -282,7 +282,7 @@ fn page_fault_is_serviced_by_the_os_stub() {
 
 #[test]
 fn unmapped_page_kills_the_accelerator() {
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     {
         let a = sys.adapter_mut();
         let mut sw = a.hubs[0].switches();

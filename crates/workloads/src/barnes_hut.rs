@@ -496,7 +496,7 @@ pub fn run(variant: BenchVariant, p: usize, n: usize, seed: u64) -> AppResult {
     let particles = generate(n, seed);
     let nodes = build_octree(&particles);
     let expected = forces_ref(&particles, &nodes);
-    let mut sys = System::new(variant.system_config(p, 1, BH_MHZ));
+    let mut sys = System::new(variant.system_config(p, 1, BH_MHZ)).expect("valid config");
     for (i, pt) in particles.iter().enumerate() {
         let b = layout.particles + (i as u64) * 32;
         sys.poke_f64(b, pt.pos[0]);

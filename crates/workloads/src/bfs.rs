@@ -301,7 +301,7 @@ pub fn run(variant: BenchVariant, p: usize, v: u32, avg_deg: u32, seed: u64) -> 
     let layout = BfsLayout::new();
     let g = BfsGraph::generate(v, avg_deg, seed);
     let expected = g.bfs_ref();
-    let mut sys = System::new(variant.system_config(p, 0, BFS_MHZ));
+    let mut sys = System::new(variant.system_config(p, 0, BFS_MHZ)).expect("valid config");
     for (u, &(off, deg)) in g.offsets.iter().enumerate() {
         sys.poke_u64(
             layout.offsets + (u as u64) * 8,

@@ -552,7 +552,7 @@ pub fn run(variant: BenchVariant, v: u32, avg_deg: u32, seed: u64) -> AppResult 
     let layout = DijkstraLayout::new();
     let g = Graph::generate(v, avg_deg, seed);
     let expected = g.dijkstra_ref();
-    let mut sys = System::new(variant.system_config(1, 1, DIJKSTRA_MHZ));
+    let mut sys = System::new(variant.system_config(1, 1, DIJKSTRA_MHZ)).expect("valid config");
     install_graph(&mut sys, &layout, &g);
 
     let prog = match variant {

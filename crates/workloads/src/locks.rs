@@ -192,7 +192,7 @@ mod tests {
     }
 
     fn run_counter(kind: &str, cores: usize, iters: i64) -> u64 {
-        let mut sys = System::new(SystemConfig::proc_only(cores));
+        let mut sys = System::new(SystemConfig::proc_only(cores)).expect("valid config");
         let prog = locked_counter_program(kind, iters);
         for c in 0..cores {
             sys.load_program(c, prog.clone(), "main");
@@ -260,7 +260,7 @@ mod tests {
         a.fence();
         a.halt();
         let prog = Arc::new(a.assemble().unwrap());
-        let mut sys = System::new(SystemConfig::proc_only(cores as usize));
+        let mut sys = System::new(SystemConfig::proc_only(cores as usize)).expect("valid config");
         for c in 0..cores as usize {
             sys.load_program(c, prog.clone(), "main");
         }

@@ -406,7 +406,7 @@ pub fn run(variant: BenchVariant, p: usize, width: u32, layers: u32, seed: u64) 
     let layout = PdesLayout::new();
     let c = Circuit::generate(width, layers, seed);
     let expected = c.eval_ref();
-    let mut sys = System::new(variant.system_config(p, 1, PDES_MHZ));
+    let mut sys = System::new(variant.system_config(p, 1, PDES_MHZ)).expect("valid config");
     install_circuit(&mut sys, &layout, &c);
 
     // Initial stimulus: every layer-1 gate at time 10.

@@ -170,7 +170,7 @@ fn check(sys: &System, layout: &PopcountLayout, expected: &[u64]) -> bool {
 pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
     let layout = PopcountLayout::new(n);
     let (bytes, expected) = generate(n, seed);
-    let mut sys = System::new(variant.system_config(1, 1, POPCOUNT_MHZ));
+    let mut sys = System::new(variant.system_config(1, 1, POPCOUNT_MHZ)).expect("valid config");
     install_data(&mut sys, &layout, &bytes);
 
     let prog = match variant {

@@ -342,7 +342,7 @@ pub fn run(variant: BenchVariant, slice: u64, n: u64, seed: u64) -> AppResult {
     expected.sort_unstable();
 
     let mhz = sort_mhz(slice);
-    let mut sys = System::new(variant.system_config(1, 2, mhz));
+    let mut sys = System::new(variant.system_config(1, 2, mhz)).expect("valid config");
     for (i, &v) in input.iter().enumerate() {
         sys.poke_bytes(layout.input + (i as u64) * 4, &v.to_le_bytes());
     }

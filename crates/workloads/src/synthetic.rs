@@ -375,7 +375,7 @@ impl Mechanism {
 }
 
 /// One measured point of Fig. 9.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LatencyPoint {
     /// The mechanism measured.
     pub mechanism: Mechanism,
@@ -385,13 +385,16 @@ pub struct LatencyPoint {
     pub total: Time,
     /// Four-way attribution (NoC / fast cache / slow cache / CDC).
     pub breakdown: LatencyBreakdown,
+    /// Per-link occupancy/stall snapshot of the whole component graph at
+    /// the end of the measurement (see [`System::link_reports`]).
+    pub links: Vec<(String, duet_sim::LinkReport)>,
 }
 
 /// Builds a system configured for a mechanism, with the scratchpad
 /// attached and registers set up.
 fn build_system(mechanism: Mechanism, p: usize, fpga_mhz: f64) -> (System, Rc<RefCell<SpEvents>>) {
     let cfg = mechanism.system_config(p, fpga_mhz);
-    let mut sys = System::new(cfg);
+    let mut sys = System::new(cfg).expect("valid config");
     let shadow = mechanism.uses_shadow_regs() && cfg.variant == Variant::Duet;
     if shadow {
         sys.set_reg_mode(sp_reg::CMD, RegMode::FpgaBound);
@@ -497,6 +500,7 @@ pub fn measure_latency(mechanism: Mechanism, fpga_mhz: f64) -> LatencyPoint {
                 fpga_mhz,
                 total,
                 breakdown,
+                links: sys.link_reports(),
             }
         }
         Mechanism::EfpgaPullSlow | Mechanism::EfpgaPullProxy => {
@@ -533,6 +537,7 @@ pub fn measure_latency(mechanism: Mechanism, fpga_mhz: f64) -> LatencyPoint {
                 fpga_mhz,
                 total,
                 breakdown,
+                links: sys.link_reports(),
             }
         }
         Mechanism::CpuPullSlow | Mechanism::CpuPullProxy => {
@@ -578,6 +583,7 @@ pub fn measure_latency(mechanism: Mechanism, fpga_mhz: f64) -> LatencyPoint {
                 fpga_mhz,
                 total,
                 breakdown: bd,
+                links: sys.link_reports(),
             }
         }
     }

@@ -215,7 +215,7 @@ pub fn generate(n: u64, seed: u64) -> Vec<f64> {
 pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
     let layout = TangentLayout::new(n);
     let angles = generate(n, seed);
-    let mut sys = System::new(variant.system_config(1, 0, TANGENT_MHZ));
+    let mut sys = System::new(variant.system_config(1, 0, TANGENT_MHZ)).expect("valid config");
     for (i, &x) in angles.iter().enumerate() {
         sys.poke_f64(layout.input + (i as u64) * 8, x);
     }

@@ -20,7 +20,7 @@ fn main() {
     // 1. A Dolly-P1M1 instance: one processor tile, one C-tile hosting the
     //    Control Hub and a Memory Hub, eFPGA clocked at 189 MHz.
     let cfg = SystemConfig::dolly(1, 1, 189.0);
-    let mut sys = System::new(cfg);
+    let mut sys = System::new(cfg).expect("valid config");
     println!(
         "system: {} processor(s), {} memory hub(s), {}x{} mesh, eFPGA {:.0} MHz",
         cfg.processors,

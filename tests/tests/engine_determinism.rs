@@ -40,6 +40,17 @@ fn fingerprint(sys: &System, halt: Time, quiesced: Time, mem: &[(u64, usize)]) -
             ));
         }
     }
+    // Per-link movement counters. `rejected_pushes` is deliberately
+    // omitted: it counts *attempts*, and gated-off components never make
+    // the attempts exhaustive ticking would (both outcomes are correct —
+    // nothing moved either way).
+    for (name, report) in sys.link_reports() {
+        let st = report.stats;
+        s.push_str(&format!(
+            "link[{name}] pushes={} pops={} peak={} hist={:?}\n",
+            st.pushes, st.pops, st.peak_occupancy, st.occupancy_hist
+        ));
+    }
     for &(addr, words) in mem {
         for k in 0..words as u64 {
             s.push_str(&format!(
@@ -82,7 +93,7 @@ fn assert_differential(
 fn differential_message_passing_two_cores() {
     let build = || {
         let iters = 12i64;
-        let mut sys = System::new(SystemConfig::proc_only(2));
+        let mut sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
         let mut a = Asm::new();
         a.label("producer");
         let (data, flag, i) = (regs::S[0], regs::S[1], regs::S[2]);
@@ -138,7 +149,7 @@ fn differential_message_passing_two_cores() {
 #[test]
 fn differential_four_core_amoadd() {
     let build = || {
-        let mut sys = System::new(SystemConfig::proc_only(4));
+        let mut sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
         let mut a = Asm::new();
         a.label("main");
         a.li(regs::T[0], 0x7000);
@@ -170,7 +181,7 @@ fn differential_four_core_amoadd() {
 /// accelerator cap on edge skipping.
 fn popcount_system(cfg: SystemConfig) -> System {
     use duet_core::RegMode;
-    let mut sys = System::new(cfg);
+    let mut sys = System::new(cfg).expect("valid config");
     let accel = PopcountAccel::new(true);
     sys.set_reg_mode(0, RegMode::FpgaBound);
     sys.set_reg_mode(1, RegMode::CpuBound);
@@ -215,7 +226,7 @@ fn differential_duet_accelerator_popcount() {
 #[test]
 fn differential_fpsoc_slow_hubs() {
     let build = || {
-        let mut sys = System::new(SystemConfig::fpsoc(2, 1, 137.0));
+        let mut sys = System::new(SystemConfig::fpsoc(2, 1, 137.0)).expect("valid config");
         // Plain shared-memory workload; in FPSoC the hub path still ticks
         // every slow edge behind the CDC, capping the skip horizon.
         let mut a = Asm::new();

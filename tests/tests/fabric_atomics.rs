@@ -62,7 +62,7 @@ fn fabric_and_processors_share_an_atomic_counter() {
     let accel_incs = 20u32;
     let core_incs = 25i64;
     let cores = 2usize;
-    let mut sys = System::new(SystemConfig::dolly(cores, 1, 150.0));
+    let mut sys = System::new(SystemConfig::dolly(cores, 1, 150.0)).expect("valid config");
     sys.attach_accelerator(Box::new(AtomicIncrementer {
         addr,
         remaining: accel_incs,
@@ -104,7 +104,7 @@ fn fabric_amo_returns_strictly_increasing_old_values_without_contention() {
     // Single-agent case: the old values the fabric observes must be
     // 0, 1, 2, ... — each AMO is a full serialized round trip.
     let addr = 0xA000u64;
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     sys.attach_accelerator(Box::new(AtomicIncrementer {
         addr,
         remaining: 10,
@@ -126,7 +126,7 @@ fn fabric_amo_returns_strictly_increasing_old_values_without_contention() {
 
 #[test]
 fn amo_feature_switch_blocks_fabric_atomics_system_wide() {
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     {
         let a = sys.adapter_mut();
         let mut sw = a.hubs[0].switches();

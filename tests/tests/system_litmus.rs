@@ -18,7 +18,7 @@ use duet_system::{System, SystemConfig};
 #[test]
 fn message_passing_litmus_holds_repeatedly() {
     let iters = 24i64;
-    let mut sys = System::new(SystemConfig::proc_only(2));
+    let mut sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
     // Producer: for each round, write data, fence, set flag = round.
     let mut a = Asm::new();
     a.label("producer");
@@ -105,7 +105,7 @@ impl SoftAccelerator for RogueAccel {
 
 #[test]
 fn faulty_accelerator_is_contained() {
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     sys.attach_accelerator(Box::new(RogueAccel { fired: false }));
     // The core runs a pure-memory workload, oblivious to the rogue fabric.
     let mut a = Asm::new();
@@ -134,7 +134,7 @@ fn faulty_accelerator_is_contained() {
 /// stalling the system (Sec. II-E).
 #[test]
 fn deactivated_interface_never_wedges_a_processor() {
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0));
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 100.0)).expect("valid config");
     sys.set_reg_mode(0, RegMode::CpuBound);
     // No accelerator attached and the interface switched off: a blocking
     // read would hang forever if deactivation didn't bypass it.
@@ -173,7 +173,7 @@ fn deactivated_interface_never_wedges_a_processor() {
 /// is exact under maximal contention.
 #[test]
 fn four_core_fetch_add_is_exact() {
-    let mut sys = System::new(SystemConfig::proc_only(4));
+    let mut sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
     let mut a = Asm::new();
     a.label("main");
     a.li(regs::T[0], 0x7000);
