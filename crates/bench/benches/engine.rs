@@ -177,6 +177,44 @@ fn main() {
         edges
     });
 
+    // Coherence-heavy: four cores stream stores over a shared 64 KB
+    // region (4 K lines, far beyond the 8 KB L2), so nearly every store is
+    // a miss with an eviction writeback — the directory maps fill with
+    // thousands of lines and every edge moves GetM / Data / Inv / PutM
+    // traffic. This is the hot-path state-storage scenario: wall time is
+    // dominated by directory/MSHR/backing-store lookups.
+    let mut st = duet_cpu::asm::Asm::new();
+    st.label("main");
+    st.li(duet_cpu::isa::regs::T[0], 0x10_0000);
+    st.li(duet_cpu::isa::regs::T[2], 0x10_0000 + 0x1_0000);
+    st.label("loop");
+    st.sd(duet_cpu::isa::regs::T[1], duet_cpu::isa::regs::T[0], 0);
+    st.addi(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[0], 16);
+    st.blt(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[2], "loop");
+    st.halt();
+    let stream = Arc::new(st.assemble().unwrap());
+    bench(&filter, "system/p4_stream_stores_4k_lines", || {
+        let mut sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
+        for core in 0..4 {
+            sys.load_program(core, stream.clone(), "main");
+        }
+        sys.run_until_halt(Time::from_us(4_000));
+        sys.quiesce(Time::from_us(5_000));
+        let s = sys.stats();
+        s.fast_edges + s.slow_edges
+    });
+
+    bench(&filter, "system/poke_peek_1mb_image", || {
+        // Memory-image initialization: the harness-side hot path every fig
+        // binary pays before simulating (poke_bytes/peek_bytes_raw walk the
+        // shard backing stores line by line).
+        let mut sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
+        let buf = vec![0xA5u8; 1 << 20];
+        sys.poke_bytes(0x10_0000, &buf);
+        let back = sys.peek_bytes_raw(0x10_0000, 1 << 20);
+        black_box(back.len() as u64)
+    });
+
     // Idle-heavy: core 0 performs blocking MMIO round trips to a 20 MHz
     // scratchpad (write the echo register, block reading the result queue)
     // while three cores sit halted — the latency-bound case event-horizon

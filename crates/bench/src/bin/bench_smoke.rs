@@ -1,0 +1,106 @@
+//! CI bench smoke: a fast release-mode throughput check that tracks the
+//! simulator's perf trajectory from PR 3 onward.
+//!
+//! Two scenarios, both small enough for a CI minute:
+//!
+//! 1. **fig9** — the Fig. 9 latency-sweep harness is spawned as a
+//!    subprocess (it sits next to this binary in `target/release/`) and
+//!    its standard `throughput:` line is parsed back out. This exercises
+//!    the real harness path end to end: sweep, parallel map, metrics.
+//! 2. **stream_stores_p4** — the coherence-heavy scenario from the engine
+//!    micro-benches, run in-process: four cores stream stores over a
+//!    shared 64 KB region so the directory/MSHR/backing-store hot paths
+//!    dominate wall time.
+//!
+//! Results land in `BENCH_pr3.json` (repo root by default, or the path
+//! given as the first non-flag argument) as edges/sec per scenario. The
+//! file is committed so the perf record survives in-tree; CI regenerates
+//! it on every push to catch harness rot and big regressions.
+//!
+//! Run: `cargo run --release -p duet-bench --bin bench_smoke [out.json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use duet_sim::Time;
+use duet_system::{metrics, System, SystemConfig};
+
+/// Runs the sibling `fig9` binary and parses `edges/sec` from its
+/// `# fig9 throughput: 1.056e7 edges/sec, ...` line.
+fn fig9_edges_per_sec() -> Option<f64> {
+    let me = std::env::current_exe().ok()?;
+    let fig9 = me.parent()?.join("fig9");
+    if !fig9.exists() {
+        eprintln!(
+            "bench_smoke: {} not built, skipping fig9 leg",
+            fig9.display()
+        );
+        return None;
+    }
+    let out = std::process::Command::new(&fig9)
+        .args(["--threads", "2"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        eprintln!("bench_smoke: fig9 exited with {}", out.status);
+        return None;
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().find(|l| l.contains("throughput:"))?;
+    println!("{line}");
+    let rest = line.split("throughput:").nth(1)?;
+    let value = rest.split_whitespace().next()?;
+    value.parse::<f64>().ok()
+}
+
+/// The coherence-heavy engine-bench scenario, measured in-process via the
+/// process-wide edge counters.
+fn stream_stores_edges_per_sec() -> f64 {
+    let mut st = duet_cpu::asm::Asm::new();
+    st.label("main");
+    st.li(duet_cpu::isa::regs::T[0], 0x10_0000);
+    st.li(duet_cpu::isa::regs::T[2], 0x10_0000 + 0x1_0000);
+    st.label("loop");
+    st.sd(duet_cpu::isa::regs::T[1], duet_cpu::isa::regs::T[0], 0);
+    st.addi(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[0], 16);
+    st.blt(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[2], "loop");
+    st.halt();
+    let stream = Arc::new(st.assemble().expect("static program assembles"));
+
+    let (edges0, _) = metrics::snapshot();
+    let start = Instant::now();
+    let mut sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
+    for core in 0..4 {
+        sys.load_program(core, stream.clone(), "main");
+    }
+    sys.run_until_halt(Time::from_us(4_000));
+    sys.quiesce(Time::from_us(5_000));
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let (edges1, _) = metrics::snapshot();
+    let eps = (edges1 - edges0) as f64 / wall;
+    println!("# stream_stores_p4 throughput: {eps:.3e} edges/sec (wall {wall:.3}s)");
+    eps
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+
+    let fig9 = fig9_edges_per_sec();
+    let stream = stream_stores_edges_per_sec();
+
+    // Hand-rolled JSON: two decimal places of mantissa are plenty for a
+    // trajectory record, and no serde dependency is needed.
+    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v1\",\n");
+    body.push_str("  \"unit\": \"edges_per_sec\",\n  \"scenarios\": {\n");
+    if let Some(f) = fig9 {
+        body.push_str(&format!("    \"fig9_latency_sweep\": {f:.3e},\n"));
+    }
+    body.push_str(&format!(
+        "    \"stream_stores_p4_coherence_heavy\": {stream:.3e}\n  }}\n}}\n"
+    ));
+    std::fs::write(&out_path, &body).expect("write bench json");
+    println!("# wrote {out_path}");
+}

@@ -15,10 +15,12 @@
 //! * The memory controller is folded into the shard as a fixed extra
 //!   latency on L3 data misses rather than a separate mesh node.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use duet_noc::NodeId;
-use duet_sim::{Clock, ClockDomain, Component, LatencyBreakdown, Link, LinkReport, Time};
+use duet_sim::{
+    Clock, ClockDomain, Component, LatencyBreakdown, LineMap, Link, LinkReport, PagedMem, Time,
+};
 
 use crate::array::CacheArray;
 use crate::msg::{CoherenceMsg, Grant};
@@ -118,9 +120,12 @@ pub struct DirStats {
 pub struct L3Shard {
     cfg: DirConfig,
     node: NodeId,
-    dir: BTreeMap<u64, DirLine>,
+    dir: LineMap<DirLine>,
+    /// Lines currently busy or with queued requests (kept incrementally so
+    /// [`L3Shard::is_idle`] is O(1) instead of scanning the directory).
+    blocked_lines: usize,
     /// Ground-truth data for lines homed here (memory image).
-    backing: BTreeMap<u64, LineData>,
+    backing: PagedMem<LineData>,
     /// Timing-only L3 data array: presence decides hit vs memory latency.
     l3_tags: CacheArray<()>,
     incoming: VecDeque<(NodeId, CoherenceMsg, Time, Time)>,
@@ -136,8 +141,9 @@ impl L3Shard {
         L3Shard {
             cfg,
             node,
-            dir: BTreeMap::new(),
-            backing: BTreeMap::new(),
+            dir: LineMap::new(),
+            blocked_lines: 0,
+            backing: PagedMem::new(),
             l3_tags: CacheArray::new(cfg.sets, cfg.ways),
             incoming: VecDeque::new(),
             out: Link::pipe(),
@@ -158,14 +164,14 @@ impl L3Shard {
     /// Writes a line directly into the memory image (pre-simulation
     /// initialization only — bypasses all timing and coherence).
     pub fn poke_line(&mut self, line: LineAddr, data: LineData) {
-        self.backing.insert(line.0, data);
+        self.backing.write(line.0, data);
     }
 
     /// Reads a line from the memory image. Only coherent if the line is not
     /// dirty in a private cache (see `duet_system::System::peek` for the
     /// coherent variant).
     pub fn peek_line(&self, line: LineAddr) -> LineData {
-        self.backing.get(&line.0).copied().unwrap_or([0; 16])
+        self.backing.read(line.0)
     }
 
     /// Pre-warms the L3 data array so a subsequent access is a hit.
@@ -177,7 +183,7 @@ impl L3Shard {
     /// caller must install the matching S copy in that node's cache).
     pub fn warm_sharer(&mut self, line: LineAddr, node: NodeId) {
         self.warm_l3(line);
-        let e = self.dir.entry(line.0).or_default();
+        let e = self.dir.get_or_default(line.0);
         match &mut e.state {
             DirState::S { sharers } => {
                 if !sharers.contains(&node) {
@@ -197,7 +203,7 @@ impl L3Shard {
     /// caller must install the matching E/M copy in that node's cache).
     pub fn warm_owner(&mut self, line: LineAddr, node: NodeId) {
         self.warm_l3(line);
-        let e = self.dir.entry(line.0).or_default();
+        let e = self.dir.get_or_default(line.0);
         assert!(
             matches!(e.state, DirState::I),
             "warm_owner on a non-idle line"
@@ -207,7 +213,7 @@ impl L3Shard {
 
     /// Current owner per the directory, if the line is in E/M.
     pub fn owner_of(&self, line: LineAddr) -> Option<NodeId> {
-        match self.dir.get(&line.0).map(|d| &d.state) {
+        match self.dir.get(line.0).map(|d| &d.state) {
             Some(DirState::EorM { owner }) => Some(*owner),
             _ => None,
         }
@@ -216,20 +222,16 @@ impl L3Shard {
     /// Sharers per the directory (possibly stale supersets — silent S
     /// evictions leave bits behind).
     pub fn sharers_of(&self, line: LineAddr) -> Vec<NodeId> {
-        match self.dir.get(&line.0).map(|d| &d.state) {
+        match self.dir.get(line.0).map(|d| &d.state) {
             Some(DirState::S { sharers }) => sharers.clone(),
             _ => Vec::new(),
         }
     }
 
-    /// Whether any transaction is in flight or queued.
+    /// Whether any transaction is in flight or queued. O(1): blocked lines
+    /// are counted incrementally in [`L3Shard::tick`].
     pub fn is_idle(&self) -> bool {
-        self.incoming.is_empty()
-            && self.out.is_empty()
-            && self
-                .dir
-                .values()
-                .all(|d| d.busy.is_none() && d.queued.is_empty())
+        self.incoming.is_empty() && self.out.is_empty() && self.blocked_lines == 0
     }
 
     /// True when ticking or draining this shard right now could do anything.
@@ -284,7 +286,7 @@ impl L3Shard {
     /// Reads line data for a response, charging L3-hit or memory latency.
     /// Returns `(data, extra_cycles)`.
     fn read_data(&mut self, line: LineAddr) -> (LineData, u32) {
-        let data = self.backing.get(&line.0).copied().unwrap_or([0; 16]);
+        let data = self.backing.read(line.0);
         if self.l3_tags.get(line).is_some() {
             self.stats.l3_hits += 1;
             (data, self.cfg.l3_cycles)
@@ -301,12 +303,30 @@ impl L3Shard {
         let Some((src, msg, arrived, flight)) = self.incoming.pop_front() else {
             return;
         };
+        // One message touches exactly one line (even queued-request release
+        // recurses on the same line), so the blocked-line count can be
+        // maintained with a single before/after check here.
+        let key = msg.line().0;
+        let was_blocked = self.line_blocked(key);
         self.dispatch(now, src, msg, arrived, flight);
+        match (was_blocked, self.line_blocked(key)) {
+            (false, true) => self.blocked_lines += 1,
+            (true, false) => self.blocked_lines -= 1,
+            _ => {}
+        }
+    }
+
+    /// True when `key`'s directory line holds a busy transaction or queued
+    /// requests (the per-line component of [`L3Shard::is_idle`]).
+    fn line_blocked(&self, key: u64) -> bool {
+        self.dir
+            .get(key)
+            .is_some_and(|d| d.busy.is_some() || !d.queued.is_empty())
     }
 
     fn dispatch(&mut self, now: Time, src: NodeId, msg: CoherenceMsg, arrived: Time, flight: Time) {
         let line = msg.line();
-        let entry = self.dir.entry(line.0).or_default();
+        let entry = self.dir.get_or_default(line.0);
         match &msg {
             CoherenceMsg::GetS { .. } | CoherenceMsg::GetM { .. } | CoherenceMsg::PutM { .. }
                 if entry.busy.is_some() =>
@@ -321,15 +341,15 @@ impl L3Shard {
             CoherenceMsg::GetM { line } => self.process_getm(now, src, line, arrived, flight),
             CoherenceMsg::PutM { line, data } => self.process_putm(now, src, line, data),
             CoherenceMsg::WBData { line, data } => {
-                self.backing.insert(line.0, data);
-                let e = self.dir.get_mut(&line.0).expect("WBData without entry");
+                self.backing.write(line.0, data);
+                let e = self.dir.get_mut(line.0).expect("WBData without entry");
                 if let Some(busy) = &mut e.busy {
                     busy.need_wbdata = false;
                 }
                 self.maybe_release(now, line);
             }
             CoherenceMsg::Unblock { line } => {
-                let e = self.dir.get_mut(&line.0).expect("Unblock without entry");
+                let e = self.dir.get_mut(line.0).expect("Unblock without entry");
                 if let Some(busy) = &mut e.busy {
                     busy.need_unblock = false;
                 }
@@ -352,7 +372,7 @@ impl L3Shard {
         bd.noc += flight;
         // Time spent queued behind a busy transaction is home processing.
         bd.cache_fast += now.saturating_sub(arrived);
-        let state = self.dir.get(&line.0).map(|d| d.state.clone()).unwrap();
+        let state = self.dir.get(line.0).map(|d| d.state.clone()).unwrap();
         match state {
             DirState::I => {
                 let (data, extra) = self.read_data(line);
@@ -369,7 +389,7 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
-                let e = self.dir.get_mut(&line.0).unwrap();
+                let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
                     need_unblock: true,
@@ -394,7 +414,7 @@ impl L3Shard {
                 if !sharers.contains(&src) {
                     sharers.push(src);
                 }
-                let e = self.dir.get_mut(&line.0).unwrap();
+                let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::S { sharers };
                 e.busy = Some(BusyTxn {
                     need_unblock: true,
@@ -413,7 +433,7 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
-                let e = self.dir.get_mut(&line.0).unwrap();
+                let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::S {
                     sharers: vec![owner, src],
                 };
@@ -437,7 +457,7 @@ impl L3Shard {
         let mut bd = LatencyBreakdown::new();
         bd.noc += flight;
         bd.cache_fast += now.saturating_sub(arrived);
-        let state = self.dir.get(&line.0).map(|d| d.state.clone()).unwrap();
+        let state = self.dir.get(line.0).map(|d| d.state.clone()).unwrap();
         match state {
             DirState::I => {
                 let (data, extra) = self.read_data(line);
@@ -454,7 +474,7 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
-                let e = self.dir.get_mut(&line.0).unwrap();
+                let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
                     need_unblock: true,
@@ -488,7 +508,7 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
-                let e = self.dir.get_mut(&line.0).unwrap();
+                let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
                     need_unblock: true,
@@ -508,7 +528,7 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
-                let e = self.dir.get_mut(&line.0).unwrap();
+                let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
                     need_unblock: true,
@@ -520,11 +540,11 @@ impl L3Shard {
 
     fn process_putm(&mut self, now: Time, src: NodeId, line: LineAddr, data: LineData) {
         self.stats.putm += 1;
-        let e = self.dir.get_mut(&line.0).unwrap();
+        let e = self.dir.get_mut(line.0).unwrap();
         let from_owner = matches!(&e.state, DirState::EorM { owner } if *owner == src);
         if from_owner {
             e.state = DirState::I;
-            self.backing.insert(line.0, data);
+            self.backing.write(line.0, data);
             self.l3_tags.insert(line, [0; 16], ());
         }
         // Stale PutM (the sender was downgraded/invalidated while the PutM
@@ -539,7 +559,7 @@ impl L3Shard {
     /// Releases the busy state when the transaction's obligations are met,
     /// then processes queued requests.
     fn maybe_release(&mut self, now: Time, line: LineAddr) {
-        let e = self.dir.get_mut(&line.0).unwrap();
+        let e = self.dir.get_mut(line.0).unwrap();
         let done = e
             .busy
             .as_ref()

@@ -14,11 +14,11 @@
 //!
 //! The protocol is the blocking-directory MESI described in [`crate::msg`].
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use duet_noc::NodeId;
 use duet_sim::{
-    merge_min, Clock, ClockDomain, Component, LatencyBreakdown, Link, LinkReport, Time,
+    merge_min, Clock, ClockDomain, Component, LatencyBreakdown, LineMap, Link, LinkReport, Time,
 };
 
 use crate::array::CacheArray;
@@ -192,8 +192,8 @@ pub struct PrivCache {
     node: NodeId,
     home: HomeMap,
     array: CacheArray<LineState>,
-    mshrs: BTreeMap<u64, Mshr>,
-    wb: BTreeMap<u64, WbEntry>,
+    mshrs: LineMap<Mshr>,
+    wb: LineMap<WbEntry>,
     req_in: VecDeque<MemReq>,
     /// Incoming coherence messages: the cache pipeline processes one per
     /// cycle (this serialization is what makes a slow-domain cache slow).
@@ -217,8 +217,8 @@ impl PrivCache {
             node,
             home,
             array,
-            mshrs: BTreeMap::new(),
-            wb: BTreeMap::new(),
+            mshrs: LineMap::new(),
+            wb: LineMap::new(),
             req_in: VecDeque::new(),
             noc_in: VecDeque::new(),
             resp_out: Link::pipe(),
@@ -376,7 +376,7 @@ impl PrivCache {
                 breakdown.noc += flight;
                 let mshr = self
                     .mshrs
-                    .get_mut(&line.0)
+                    .get_mut(line.0)
                     .expect("Data response without MSHR");
                 mshr.breakdown.merge(&breakdown);
                 mshr.data = Some((data, grant));
@@ -392,7 +392,7 @@ impl PrivCache {
                 breakdown.noc += flight;
                 let mshr = self
                     .mshrs
-                    .get_mut(&line.0)
+                    .get_mut(line.0)
                     .expect("DataOwner response without MSHR");
                 mshr.breakdown.merge(&breakdown);
                 mshr.data = Some((data, grant));
@@ -400,7 +400,7 @@ impl PrivCache {
                 self.try_complete_fill(now, line);
             }
             CoherenceMsg::InvAck { line } => {
-                let mshr = self.mshrs.get_mut(&line.0).expect("InvAck without MSHR");
+                let mshr = self.mshrs.get_mut(line.0).expect("InvAck without MSHR");
                 mshr.acks_got += 1;
                 self.try_complete_fill(now, line);
             }
@@ -411,7 +411,7 @@ impl PrivCache {
                     debug_assert_eq!(*state, LineState::S, "Inv for non-shared line");
                     self.array.remove(line);
                     self.back_inval.push_back((line, InvalReason::Coherence));
-                } else if let Some(mshr) = self.mshrs.get_mut(&line.0) {
+                } else if let Some(mshr) = self.mshrs.get_mut(line.0) {
                     debug_assert!(
                         mshr.data.is_none(),
                         "Inv cannot arrive after the current-epoch fill"
@@ -466,7 +466,7 @@ impl PrivCache {
                         CoherenceMsg::WBData { line, data },
                         self.cfg.proc_cycles,
                     );
-                } else if let Some(entry) = self.wb.get_mut(&line.0) {
+                } else if let Some(entry) = self.wb.get_mut(line.0) {
                     // Race: we are writing the line back; still the owner.
                     debug_assert_eq!(entry.state, WbState::MiA);
                     entry.state = WbState::SiA;
@@ -514,7 +514,7 @@ impl PrivCache {
                         },
                         self.cfg.proc_cycles,
                     );
-                } else if let Some(entry) = self.wb.get_mut(&line.0) {
+                } else if let Some(entry) = self.wb.get_mut(line.0) {
                     debug_assert_eq!(entry.state, WbState::MiA);
                     entry.state = WbState::IiA;
                     let data = entry.data;
@@ -534,7 +534,7 @@ impl PrivCache {
                 }
             }
             CoherenceMsg::PutAck { line } => {
-                let entry = self.wb.remove(&line.0).expect("PutAck without writeback");
+                let entry = self.wb.remove(line.0).expect("PutAck without writeback");
                 // Whatever the final state (MI_A/SI_A/II_A), the line is gone.
                 let _ = entry;
             }
@@ -552,13 +552,13 @@ impl PrivCache {
     /// arrived.
     fn try_complete_fill(&mut self, now: Time, line: LineAddr) {
         let done = {
-            let mshr = &self.mshrs[&line.0];
+            let mshr = self.mshrs.get(line.0).expect("fill without MSHR");
             mshr.data.is_some() && mshr.acks_needed.is_some_and(|n| mshr.acks_got >= n)
         };
         if !done {
             return;
         }
-        let mut mshr = self.mshrs.remove(&line.0).unwrap();
+        let mut mshr = self.mshrs.remove(line.0).unwrap();
         let (data, grant) = mshr.data.take().unwrap();
         // Release the home's busy state.
         let home = self.home.home_of(line);
@@ -735,7 +735,7 @@ impl PrivCache {
         let line = LineAddr::containing(req.addr);
 
         // Fold into an existing outstanding miss on the same line.
-        if let Some(mshr) = self.mshrs.get_mut(&line.0) {
+        if let Some(mshr) = self.mshrs.get_mut(line.0) {
             self.req_in.pop_front();
             self.stats.mshr_merges += 1;
             mshr.pending.push_back(req);

@@ -6,7 +6,7 @@
 //! Cache". On a miss, the TLB raises an interrupt and the kernel refills it
 //! via MMIOs (modelled in `duet-system` by an OS-stub latency).
 
-use std::collections::BTreeMap;
+use duet_sim::LineMap;
 
 use crate::types::Addr;
 
@@ -61,7 +61,7 @@ impl PagePerms {
 /// A software-managed page table (the kernel's view; the TLB caches it).
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
-    map: BTreeMap<Vpn, (Ppn, PagePerms)>,
+    map: LineMap<(Ppn, PagePerms)>,
 }
 
 impl PageTable {
@@ -72,7 +72,7 @@ impl PageTable {
 
     /// Maps one virtual page.
     pub fn map(&mut self, vpn: Vpn, ppn: Ppn, perms: PagePerms) {
-        self.map.insert(vpn, (ppn, perms));
+        self.map.insert(vpn.0, (ppn, perms));
     }
 
     /// Identity-maps a virtual address range with the given permissions.
@@ -86,12 +86,12 @@ impl PageTable {
 
     /// Looks up a mapping.
     pub fn lookup(&self, vpn: Vpn) -> Option<(Ppn, PagePerms)> {
-        self.map.get(&vpn).copied()
+        self.map.get(vpn.0).copied()
     }
 
     /// Removes a mapping.
     pub fn unmap(&mut self, vpn: Vpn) -> bool {
-        self.map.remove(&vpn).is_some()
+        self.map.remove(vpn.0).is_some()
     }
 }
 

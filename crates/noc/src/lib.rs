@@ -211,6 +211,11 @@ struct Router<P> {
     out_busy: [Time; PORT_COUNT],
     /// Round-robin pointer per output port over (input port, vnet) pairs.
     rr: [usize; PORT_COUNT],
+    /// Occupancy bitmask over the 15 (port, vnet) input queues (bit
+    /// `port * VNET_COUNT + vnet`). Arbitration probes only set bits — an
+    /// empty queue can never win, so skipping it is bit-exact — turning
+    /// the 5x15 scan into 5 x popcount.
+    occ: u16,
 }
 
 /// Aggregate traffic statistics for a mesh.
@@ -254,6 +259,9 @@ pub struct Mesh<P> {
     scratch: Vec<NodeId>,
     /// Total messages sitting in ejection queues (all nodes, all vnets).
     eject_pending: usize,
+    /// Nodes with at least one message in an ejection queue, kept sorted so
+    /// draining them in worklist order matches the ascending all-nodes scan.
+    eject_active: BTreeSet<NodeId>,
 }
 
 impl<P> Mesh<P> {
@@ -271,6 +279,7 @@ impl<P> Mesh<P> {
                     .collect(),
                 out_busy: [Time::ZERO; PORT_COUNT],
                 rr: [0; PORT_COUNT],
+                occ: 0,
             })
             .collect();
         let eject = (0..cfg.nodes())
@@ -284,6 +293,7 @@ impl<P> Mesh<P> {
             active: BTreeSet::new(),
             scratch: Vec::new(),
             eject_pending: 0,
+            eject_active: BTreeSet::new(),
         }
     }
 
@@ -320,6 +330,7 @@ impl<P> Mesh<P> {
         let vnet = msg.vnet.index();
         let node = msg.src;
         self.routers[node].inputs[Port::Local as usize][vnet].push(now, msg)?;
+        self.routers[node].occ |= 1 << (Port::Local as usize * VNET_COUNT + vnet);
         self.stats.injected += 1;
         self.active.insert(node);
         Ok(())
@@ -330,6 +341,9 @@ impl<P> Mesh<P> {
         let m = self.eject[node][vnet.index()].pop_front();
         if m.is_some() {
             self.eject_pending -= 1;
+            if self.eject[node].iter().all(|q| q.is_empty()) {
+                self.eject_active.remove(&node);
+            }
         }
         m
     }
@@ -337,6 +351,13 @@ impl<P> Mesh<P> {
     /// Whether any delivered message is waiting in an ejection queue.
     pub fn has_ejections(&self) -> bool {
         self.eject_pending > 0
+    }
+
+    /// The lowest-numbered node with a waiting ejection, if any. Callers
+    /// drain nodes through [`eject`](Mesh::eject) in this order to visit
+    /// only dirty nodes while matching an ascending all-nodes scan.
+    pub fn first_eject_node(&self) -> Option<NodeId> {
+        self.eject_active.iter().next().copied()
     }
 
     /// Peeks the next delivered message for `node` on `vnet`.
@@ -372,16 +393,18 @@ impl<P> Mesh<P> {
         }
         let mut earliest: Option<Time> = None;
         for &node in &self.active {
-            for per_port in &self.routers[node].inputs {
-                for q in per_port {
-                    if let Some(ready) = q.front_ready_at() {
-                        let cand = if ready <= now {
-                            self.cfg.clock.next_edge_after(now)
-                        } else {
-                            ready
-                        };
-                        earliest = merge_min(earliest, Some(cand));
-                    }
+            let mut occ = self.routers[node].occ;
+            while occ != 0 {
+                let idx = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let q = &self.routers[node].inputs[idx / VNET_COUNT][idx % VNET_COUNT];
+                if let Some(ready) = q.front_ready_at() {
+                    let cand = if ready <= now {
+                        self.cfg.clock.next_edge_after(now)
+                    } else {
+                        ready
+                    };
+                    earliest = merge_min(earliest, Some(cand));
                 }
             }
         }
@@ -434,42 +457,69 @@ impl<P> Mesh<P> {
         let mut worklist = std::mem::take(&mut self.scratch);
         worklist.clear();
         worklist.extend(self.active.iter().copied());
+        const QUEUES: usize = PORT_COUNT * VNET_COUNT;
+        /// `front_route` sentinel: not probed yet this tick.
+        const UNKNOWN: u8 = 0xFF;
+        /// `front_route` sentinel: probed, no visible front.
+        const NO_MSG: u8 = 0xFE;
         for &node in &worklist {
+            // Output port of each queue's visible front, probed lazily at
+            // most once per tick (invalidated on pop): within a tick a
+            // front only changes when we pop it, so caching is bit-exact
+            // while the uncached scan re-probed each queue per port.
+            let mut front_route = [UNKNOWN; QUEUES];
             for &out in &PORTS {
                 let o = out as usize;
+                if self.routers[node].occ == 0 {
+                    break; // every input drained mid-tick
+                }
                 if self.routers[node].out_busy[o] > now {
                     continue;
                 }
-                // Round-robin over the 15 (port, vnet) input queues.
+                // Round-robin over the 15 (port, vnet) input queues,
+                // probing only the occupied ones (identical choice: an
+                // empty queue never routes anywhere).
                 let start = self.routers[node].rr[o];
-                let mut chosen: Option<(usize, usize)> = None;
-                for k in 0..PORT_COUNT * VNET_COUNT {
-                    let idx = (start + k) % (PORT_COUNT * VNET_COUNT);
-                    let (ip, vn) = (idx / VNET_COUNT, idx % VNET_COUNT);
-                    let routes_here = {
-                        let q = &self.routers[node].inputs[ip][vn];
-                        match q.front(now) {
-                            Some(m) => self.route(node, m.dst) as usize == o,
-                            None => false,
+                let occ = self.routers[node].occ;
+                let mut chosen: Option<usize> = None;
+                let mut idx = start;
+                for _ in 0..QUEUES {
+                    if occ & (1 << idx) != 0 {
+                        if front_route[idx] == UNKNOWN {
+                            let q = &self.routers[node].inputs[idx / VNET_COUNT][idx % VNET_COUNT];
+                            front_route[idx] = match q.front(now) {
+                                Some(m) => self.route(node, m.dst) as u8,
+                                None => NO_MSG,
+                            };
                         }
-                    };
-                    if routes_here {
-                        if out == Port::Local {
-                            chosen = Some((ip, vn));
-                            break;
-                        }
-                        let (nb, in_port) = self.neighbor(node, out);
-                        if self.routers[nb].inputs[in_port as usize][vn].can_push(now) {
-                            chosen = Some((ip, vn));
-                            break;
+                        if front_route[idx] == o as u8 {
+                            if out == Port::Local {
+                                chosen = Some(idx);
+                                break;
+                            }
+                            let (nb, in_port) = self.neighbor(node, out);
+                            let vn = idx % VNET_COUNT;
+                            if self.routers[nb].inputs[in_port as usize][vn].can_push(now) {
+                                chosen = Some(idx);
+                                break;
+                            }
                         }
                     }
+                    idx += 1;
+                    if idx == QUEUES {
+                        idx = 0;
+                    }
                 }
-                let Some((ip, vn)) = chosen else { continue };
-                self.routers[node].rr[o] = (ip * VNET_COUNT + vn + 1) % (PORT_COUNT * VNET_COUNT);
+                let Some(idx) = chosen else { continue };
+                let (ip, vn) = (idx / VNET_COUNT, idx % VNET_COUNT);
+                self.routers[node].rr[o] = (idx + 1) % QUEUES;
                 let msg = self.routers[node].inputs[ip][vn]
                     .pop(now)
                     .expect("front was visible");
+                front_route[idx] = UNKNOWN;
+                if self.routers[node].inputs[ip][vn].is_empty() {
+                    self.routers[node].occ &= !(1 << idx);
+                }
                 self.routers[node].out_busy[o] = now + period.mul(u64::from(msg.flits));
                 if out == Port::Local {
                     self.stats.delivered += 1;
@@ -477,19 +527,17 @@ impl<P> Mesh<P> {
                     self.stats.total_latency += now.saturating_sub(msg.injected_at);
                     self.eject[node][vn].push_back(msg);
                     self.eject_pending += 1;
+                    self.eject_active.insert(node);
                 } else {
                     let (nb, in_port) = self.neighbor(node, out);
                     self.routers[nb].inputs[in_port as usize][vn]
                         .push(now, msg)
                         .expect("space was checked");
+                    self.routers[nb].occ |= 1 << (in_port as usize * VNET_COUNT + vn);
                     self.active.insert(nb);
                 }
             }
-            let drained = self.routers[node]
-                .inputs
-                .iter()
-                .all(|per_port| per_port.iter().all(|q| q.is_empty()));
-            if drained {
+            if self.routers[node].occ == 0 {
                 self.active.remove(&node);
             }
         }

@@ -52,6 +52,7 @@ pub mod horizon;
 pub mod link;
 pub mod rng;
 pub mod stats;
+pub mod storage;
 pub mod time;
 
 pub use clock::{Clock, DualClock, EdgeDomain};
@@ -61,4 +62,5 @@ pub use horizon::{merge_min, Horizon};
 pub use link::{Link, LinkReport, LinkStats};
 pub use rng::SimRng;
 pub use stats::{Counter, LatencyBreakdown, RunningStats};
+pub use storage::{IdSlab, LineMap, PagedMem};
 pub use time::Time;

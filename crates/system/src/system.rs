@@ -6,7 +6,6 @@
 //! dual-clock run loop in `run_loop`, and statistics/link reporting in
 //! `stats`.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use duet_core::{DuetAdapter, DuetMsg, RegMode};
@@ -17,13 +16,26 @@ use duet_mem::tlb::{PagePerms, PageTable};
 use duet_mem::types::{read_scalar, LineAddr, MemReq, Width, LINE_BYTES};
 use duet_mem::L3Shard;
 use duet_noc::{Mesh, NodeId};
-use duet_sim::{DualClock, Link, Time};
+use duet_sim::{DualClock, IdSlab, Link, Time};
 
 use crate::config::{SystemConfig, Variant};
 use crate::run_loop::OsTask;
 use crate::wiring::SlowHubCdc;
 
 pub use crate::stats::RunStats;
+
+/// What cache (if any) lives at a NoC node, precomputed at wiring time so
+/// per-message dispatch is a table lookup instead of a scan. Every node
+/// additionally hosts an L3 shard; the role only describes the cache side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum NodeRole {
+    /// P-tile: core `i` with its private L2.
+    Core(usize),
+    /// Tile hosting Memory Hub `h` (hub 0 shares the C-tile).
+    Hub(usize),
+    /// No cache at this node (C-tile without hubs, filler tiles).
+    ShardOnly,
+}
 
 /// The full simulated system. Build with [`System::new`], load memory and
 /// programs, then [`run_until_halt`](System::run_until_halt).
@@ -45,9 +57,14 @@ pub struct System {
     pub(crate) inject_pending_total: usize,
     /// Core cached-request held when the L2 queue is full.
     pub(crate) core_held: Vec<Option<MemReq>>,
-    /// MMIO id mangling: global id -> (core index, original id).
-    pub(crate) mmio_ids: BTreeMap<u64, (usize, u64)>,
-    pub(crate) next_mmio_id: u64,
+    /// Per-node cache role, indexed by NoC node (built in wiring).
+    pub(crate) node_roles: Vec<NodeRole>,
+    /// MMIO id mangling: slab id -> (core index, original id). The wire id
+    /// *is* the slot index, so response lookup is an array access.
+    pub(crate) mmio_ids: IdSlab<(usize, u64)>,
+    /// Monotone id counter for OS-stub MMIOs (fire-and-forget: tagged with
+    /// `OS_ID_BASE`, never looked up on response).
+    pub(crate) next_os_mmio_id: u64,
     /// OS model.
     pub(crate) page_table: PageTable,
     pub(crate) os_tasks: Vec<(Time, OsTask)>,
@@ -221,24 +238,14 @@ impl System {
         self.shards[home].peek_line(line)
     }
 
-    pub(crate) fn core_index_at(&self, node: NodeId) -> Option<usize> {
-        (node < self.cfg.processors).then_some(node)
-    }
-
     /// The cached copy of `line` at `node`, if the node hosts a cache that
     /// holds it.
     fn component_line(&self, node: NodeId, line: LineAddr) -> Option<[u8; LINE_BYTES]> {
-        if let Some(i) = self.core_index_at(node) {
-            return self.l2s[i].peek_line(line);
+        match self.node_roles[node] {
+            NodeRole::Core(i) => self.l2s[i].peek_line(line),
+            NodeRole::Hub(h) => self.adapter.as_ref()?.hubs[h].peek_proxy_line(line),
+            NodeRole::ShardOnly => None,
         }
-        if let Some(a) = &self.adapter {
-            for h in &a.hubs {
-                if h.node() == node {
-                    return h.peek_proxy_line(line);
-                }
-            }
-        }
-        None
     }
 
     /// Reads a coherently-visible u64.

@@ -18,7 +18,7 @@ use duet_sim::{Component, DualClock, Link, Time};
 
 use crate::config::{ConfigError, SystemConfig, Variant};
 use crate::stats::RunStats;
-use crate::system::System;
+use crate::system::{NodeRole, System};
 use duet_core::DuetAdapter;
 use duet_mem::msg::CoherenceMsg;
 use duet_noc::NodeId;
@@ -58,6 +58,15 @@ impl System {
                 cfg.fpga_clock(),
             )
         });
+        // Per-node cache role: message dispatch and coherent peeks index
+        // this table instead of scanning core/hub lists per message.
+        let mut node_roles = vec![NodeRole::ShardOnly; nodes];
+        for i in 0..cfg.processors {
+            node_roles[cfg.core_node(i)] = NodeRole::Core(i);
+        }
+        for (h, &n) in cfg.hub_nodes().iter().enumerate() {
+            node_roles[n] = NodeRole::Hub(h);
+        }
         let slow_cdc = if cfg.variant == Variant::Fpsoc {
             let fast = cfg.clock;
             let slow = cfg.fpga_clock();
@@ -82,8 +91,9 @@ impl System {
             inject_pending: (0..nodes).map(|_| Link::pipe()).collect(),
             inject_pending_total: 0,
             core_held: vec![None; cfg.processors],
-            mmio_ids: std::collections::BTreeMap::new(),
-            next_mmio_id: 1,
+            node_roles,
+            mmio_ids: duet_sim::IdSlab::new(),
+            next_os_mmio_id: 1,
             page_table: PageTable::new(),
             os_tasks: Vec::new(),
             slow_cdc,
