@@ -37,8 +37,11 @@ fn fig9_edges_per_sec() -> Option<f64> {
         );
         return None;
     }
+    // The trace flag (if any) is honored by this binary itself; don't let
+    // the subprocess race it to the same output path.
     let out = std::process::Command::new(&fig9)
         .args(["--threads", "2"])
+        .env_remove("DUET_TRACE")
         .output()
         .ok()?;
     if !out.status.success() {
@@ -67,7 +70,10 @@ fn stream_stores_edges_per_sec() -> f64 {
     st.halt();
     let stream = Arc::new(st.assemble().expect("static program assembles"));
 
-    let (edges0, _) = metrics::snapshot();
+    // Back-to-back legs in one process: zero the process-wide counters so
+    // this leg's throughput is measured from a clean slate rather than by
+    // subtracting snapshots.
+    metrics::reset();
     let start = Instant::now();
     let mut sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
     for core in 0..4 {
@@ -76,17 +82,24 @@ fn stream_stores_edges_per_sec() -> f64 {
     sys.run_until_halt(Time::from_us(4_000));
     sys.quiesce(Time::from_us(5_000));
     let wall = start.elapsed().as_secs_f64().max(1e-9);
-    let (edges1, _) = metrics::snapshot();
-    let eps = (edges1 - edges0) as f64 / wall;
+    let (edges, _) = metrics::snapshot();
+    let eps = edges as f64 / wall;
     println!("# stream_stores_p4 throughput: {eps:.3e} edges/sec (wall {wall:.3}s)");
     eps
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    // First non-flag argument (skipping flag values) is the output path.
+    let mut out_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" || a == "--threads" {
+            args.next();
+        } else if !a.starts_with("--") && out_path.is_none() {
+            out_path = Some(a);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr3.json".to_string());
 
     let fig9 = fig9_edges_per_sec();
     let stream = stream_stores_edges_per_sec();
@@ -103,4 +116,6 @@ fn main() {
     ));
     std::fs::write(&out_path, &body).expect("write bench json");
     println!("# wrote {out_path}");
+
+    duet_bench::maybe_write_trace("bench_smoke");
 }

@@ -45,5 +45,6 @@ fn main() {
     let p100 = lookup(Mechanism::EfpgaPullProxy, 100.0).mbps();
     let s100 = lookup(Mechanism::EfpgaPullSlow, 100.0).mbps();
     println!("# measured proxy/slow gap @100 MHz: {:.1}x", p100 / s100);
+    duet_bench::maybe_write_trace("fig10");
     tp.report("fig10");
 }

@@ -47,5 +47,6 @@ fn main() {
         knee(|r| r.1, &rows),
         knee(|r| r.2, &rows)
     );
+    duet_bench::maybe_write_trace("fig11");
     tp.report("fig11");
 }

@@ -201,5 +201,6 @@ fn main() {
         "# normalization tile: {:.2} mm2 (Ariane + P-Mesh socket)",
         base_tile_area_mm2()
     );
+    duet_bench::maybe_write_trace("fig12");
     tp.report("fig12");
 }

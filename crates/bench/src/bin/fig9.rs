@@ -5,8 +5,8 @@
 //!
 //! Run: `cargo run --release -p duet-bench --bin fig9 [--threads N]`
 
-use duet_bench::{parallel_map, Throughput};
-use duet_workloads::synthetic::{measure_latency, Mechanism};
+use duet_bench::{configured_trace_path, parallel_map, Throughput};
+use duet_workloads::synthetic::{measure_latency, measure_latency_traced, Mechanism};
 
 fn main() {
     let tp = Throughput::start();
@@ -90,6 +90,24 @@ fn main() {
             );
         }
         println!();
+    }
+    // `--trace <path>` / `DUET_TRACE`: re-run one representative cell
+    // (proxy-cached CPU pull @ 100 MHz) with full event tracing and dump
+    // the Chrome trace-event JSON. The traced rerun is bit-identical to
+    // the untraced sweep cell above — instrumentation is read-only.
+    if let Some(path) = configured_trace_path() {
+        let tcfg = duet_trace::TraceConfig::default();
+        let (traced, json) = measure_latency_traced(Mechanism::CpuPullProxy, 100.0, Some(&tcfg));
+        assert_eq!(
+            traced.total,
+            lookup(Mechanism::CpuPullProxy, 100.0).total,
+            "tracing must not perturb simulated time"
+        );
+        let json = json.expect("tracing enabled");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("# fig9: chrome trace (cpu-pull-proxy @100 MHz) written to {path}"),
+            Err(e) => eprintln!("# fig9: failed to write trace to {path}: {e}"),
+        }
     }
     tp.report("fig9");
 }

@@ -44,5 +44,6 @@ fn main() {
         "# = {:.1}% of a processor tile — the \"negligible hardware overhead\" claim",
         100.0 * adapter / m.processor_only_mm2()
     );
+    duet_bench::maybe_write_trace("table1");
     tp.report("table1");
 }

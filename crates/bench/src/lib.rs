@@ -9,6 +9,11 @@
 //!
 //! Thread count: `--threads N` on the command line, else the
 //! `DUET_BENCH_THREADS` environment variable, else all available cores.
+//!
+//! Tracing: every harness accepts `--trace <path>` (or `--trace=<path>`,
+//! or the `DUET_TRACE` environment variable) and writes a Chrome
+//! trace-event JSON of a representative traced run to that path —
+//! loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -73,6 +78,50 @@ where
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("worker filled its slot"))
         .collect()
+}
+
+/// The trace output path, if the user asked for one: `--trace <path>` (or
+/// `--trace=<path>`) from the command line, else the `DUET_TRACE`
+/// environment variable. `None` means tracing stays disabled (the
+/// zero-overhead default).
+pub fn configured_trace_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            if let Some(p) = args.next() {
+                return Some(p);
+            }
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("DUET_TRACE").ok().filter(|p| !p.is_empty())
+}
+
+/// Honors `--trace <path>` / `DUET_TRACE` for harnesses whose own sweep
+/// does not capture traces: re-runs one representative scenario (the
+/// proxy-cached Fig. 9 round trip at 250 MHz) with tracing enabled and
+/// writes its Chrome trace-event JSON to the configured path. No-op when
+/// no trace path is configured. Returns the path written, if any.
+pub fn maybe_write_trace(label: &str) -> Option<String> {
+    let path = configured_trace_path()?;
+    let tcfg = duet_trace::TraceConfig::default();
+    let (_, json) = duet_workloads::measure_latency_traced(
+        duet_workloads::Mechanism::CpuPullProxy,
+        250.0,
+        Some(&tcfg),
+    );
+    let json = json.expect("tracing was enabled, so a trace must exist");
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            println!("# {label}: chrome trace written to {path}");
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("# {label}: failed to write trace to {path}: {e}");
+            None
+        }
+    }
 }
 
 /// Measures wall time and simulation-throughput counters across a

@@ -14,6 +14,7 @@ use duet_mem::tlb::{PagePerms, Ppn, Vpn};
 use duet_mem::types::{MemOp, MemReq};
 use duet_noc::NodeId;
 use duet_sim::{Clock, Time};
+use duet_trace::{TraceSession, Tracer};
 
 use crate::control_hub::{mmio_map, ControlHub, ControlHubConfig};
 use crate::memory_hub::{HubSwitches, MemoryHub, MemoryHubConfig};
@@ -40,6 +41,9 @@ pub struct DuetAdapter {
     /// Memory Hubs; `hubs[0]` shares the C-tile, the rest are M-tiles.
     pub hubs: Vec<MemoryHub>,
     fpga_clock: Clock,
+    /// Trace handle cloned into the fabric-side [`HubPort`]s (fabric
+    /// request/response events, attributed to the accelerator).
+    fabric_tracer: Tracer,
 }
 
 impl DuetAdapter {
@@ -63,7 +67,27 @@ impl DuetAdapter {
             control,
             hubs,
             fpga_clock,
+            fabric_tracer: Tracer::disabled(),
         }
+    }
+
+    /// Registers the adapter's hubs with a trace session and installs the
+    /// handles. Components register in canonical walk order: the Control
+    /// Hub, then each Memory Hub (with its inner Proxy Cache sharing the
+    /// hub's id).
+    pub fn install_tracers(&mut self, session: &mut TraceSession) {
+        self.control.set_tracer(session.tracer("adapter.control"));
+        for (i, hub) in self.hubs.iter_mut().enumerate() {
+            let t = session.tracer(&format!("adapter.hub{i}"));
+            hub.set_tracer(t.clone());
+            hub.set_proxy_tracer(t);
+        }
+    }
+
+    /// Installs the accelerator-attributed handle cloned into the
+    /// fabric-side ports (fabric request/response events).
+    pub fn set_fabric_tracer(&mut self, fabric: Tracer) {
+        self.fabric_tracer = fabric;
     }
 
     /// The adapter's configuration.
@@ -172,7 +196,11 @@ impl DuetAdapter {
             .iter_mut()
             .map(|h| {
                 let (req, resp) = h.fabric_links();
-                HubPort { req, resp }
+                HubPort {
+                    req,
+                    resp,
+                    tracer: self.fabric_tracer.clone(),
+                }
             })
             .collect();
         let (down, up) = self.control.fabric_links();

@@ -22,6 +22,7 @@ use duet_fpga::ports::{RegDown, RegUp};
 use duet_mem::types::{MemOp, MemReq, MemResp};
 use duet_noc::NodeId;
 use duet_sim::{merge_min, Clock, ClockDomain, Component, Link, LinkReport, Time};
+use duet_trace::{EventKind, Tracer};
 
 use crate::msg::{DuetMsg, IrqCause};
 
@@ -245,6 +246,8 @@ pub struct ControlHub {
     tlb_vpn_latch: [u64; 8],
     stats: ControlHubStats,
     irqs: VecDeque<IrqCause>,
+    /// Trace handle (events: soft-register CDC crossings, both directions).
+    tracer: Tracer,
 }
 
 impl ControlHub {
@@ -278,7 +281,26 @@ impl ControlHub {
             tlb_vpn_latch: [0; 8],
             stats: ControlHubStats::default(),
             irqs: VecDeque::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the trace handle.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Pushes a downstream register event into the fabric-bound CDC FIFO,
+    /// tracing the crossing. Space must already be checked.
+    fn push_down(&mut self, now: Time, ev: RegDown) {
+        let (a, b) = match ev {
+            RegDown::ShadowWrite { reg, value } => (u64::from(reg), value),
+            RegDown::ReadReq { txn, reg } => (u64::from(reg), txn),
+            RegDown::WriteReq { reg, value, .. } => (u64::from(reg), value),
+        };
+        self.tracer
+            .emit(now.as_ps(), EventKind::AdapterRegDown, a, b);
+        self.down.push(now, ev).expect("space checked");
     }
 
     /// The hub's NoC node.
@@ -456,6 +478,12 @@ impl ControlHub {
     pub fn tick(&mut self, now: Time) {
         // 1. Absorb fabric pushes.
         while let Some(ev) = self.up.pop(now) {
+            let (a, b) = match ev {
+                RegUp::Push { reg, value } => (u64::from(reg), value),
+                RegUp::ReadResp { txn, value } => (txn, value),
+                RegUp::WriteAck { txn } => (txn, 0),
+            };
+            self.tracer.emit(now.as_ps(), EventKind::AdapterRegUp, a, b);
             match ev {
                 RegUp::Push { reg, value } => {
                     let r = reg as usize % REG_COUNT;
@@ -515,7 +543,7 @@ impl ControlHub {
                 }
                 WaitSt::DownSpace { ev, id, reply_to } => {
                     if self.down.can_push(now) {
-                        self.down.push(now, ev).expect("space checked");
+                        self.push_down(now, ev);
                         self.waiting = None;
                         self.respond_now(now, id, 0, reply_to);
                     }
@@ -527,7 +555,7 @@ impl ControlHub {
                     reply_to,
                 } => {
                     if self.down.can_push(now) {
-                        self.down.push(now, ev).expect("space checked");
+                        self.push_down(now, ev);
                         self.waiting = Some(WaitSt::NormalTxn {
                             txn,
                             id,
@@ -600,7 +628,7 @@ impl ControlHub {
                 };
                 // Ack as soon as the forwarding FIFO admits the write.
                 if self.down.can_push(now) {
-                    self.down.push(now, ev).expect("space checked");
+                    self.push_down(now, ev);
                     self.respond_now(now, req.id, 0, reply_to);
                 } else {
                     self.waiting = Some(WaitSt::DownSpace {
@@ -617,7 +645,7 @@ impl ControlHub {
                     value: req.wdata,
                 };
                 if self.down.can_push(now) {
-                    self.down.push(now, ev).expect("space checked");
+                    self.push_down(now, ev);
                     self.respond_now(now, req.id, 0, reply_to);
                 } else {
                     self.waiting = Some(WaitSt::DownSpace {
@@ -671,7 +699,7 @@ impl ControlHub {
         txn: Option<u64>,
     ) {
         if self.down.can_push(now) {
-            self.down.push(now, ev).expect("space checked");
+            self.push_down(now, ev);
             if let Some(txn) = txn {
                 self.waiting = Some(WaitSt::NormalTxn {
                     txn,

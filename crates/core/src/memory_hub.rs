@@ -33,6 +33,7 @@ use duet_noc::NodeId;
 use duet_sim::{
     merge_min, Clock, ClockDomain, Component, LatencyBreakdown, Link, LinkReport, Time,
 };
+use duet_trace::{EventKind, Tracer};
 
 use crate::msg::IrqCause;
 
@@ -159,6 +160,9 @@ pub struct MemoryHub {
     /// This hub's index within its adapter (reported in page faults).
     hub_index: usize,
     stats: HubStats,
+    /// Trace handle (events: request-FIFO pops, response-FIFO pushes —
+    /// i.e. the CDC crossings). Purely observational.
+    tracer: Tracer,
 }
 
 impl MemoryHub {
@@ -188,7 +192,19 @@ impl MemoryHub {
             va_of_pa: BTreeMap::new(),
             hub_index,
             stats: HubStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the trace handle.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Installs a trace handle on the hub's inner Proxy Cache (MSHR and
+    /// writeback events attributed to the proxy's component id).
+    pub fn set_proxy_tracer(&mut self, tracer: Tracer) {
+        self.proxy.set_tracer(tracer);
     }
 
     /// The hub's NoC node.
@@ -357,6 +373,13 @@ impl MemoryHub {
             if self.resp_fifo.can_push(now) {
                 let r = *front;
                 self.resp_stage.pop_front();
+                let kind = match r.kind {
+                    FpgaRespKind::LoadAck { .. } => 0,
+                    FpgaRespKind::StoreAck { .. } => 1,
+                    FpgaRespKind::Inv { .. } => 2,
+                };
+                self.tracer
+                    .emit(now.as_ps(), EventKind::AdapterRespPush, r.id, kind);
                 self.resp_fifo.push(now, r).expect("space checked");
             } else {
                 break;
@@ -436,6 +459,8 @@ impl MemoryHub {
             let Some(req) = self.req_fifo.pop(now) else {
                 break;
             };
+            self.tracer
+                .emit(now.as_ps(), EventKind::AdapterReqPop, req.id, req.addr);
             // Exception handler: validation standing in for parity checks.
             let width_ok = match req.op {
                 FpgaMemOp::LoadLine => req.addr % 16 == 0,
@@ -603,7 +628,11 @@ mod tests {
         let mut h = hub();
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.load_line(t(10_000), 7, 0x100));
         }
         // CDC: visible to hub at 12_000 (two fast edges).
@@ -657,7 +686,11 @@ mod tests {
         let mut h = hub();
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.store(t(10_000), 1, 0x101, Width::B8, 5)); // misaligned
         }
         h.tick(t(12_000));
@@ -669,7 +702,11 @@ mod tests {
         // Deactivated hub stops accepting (request stays in FIFO).
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.store(t(20_000), 2, 0x108, Width::B8, 5));
         }
         h.tick(t(22_000));
@@ -688,7 +725,11 @@ mod tests {
         // (Direct warm via proxy is not exposed; drive a fill instead.)
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             // Re-activate briefly to get a line in.
             port.load_line(t(10_000), 1, 0x200);
         }
@@ -746,7 +787,11 @@ mod tests {
         h.set_switches(sw);
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.load_line(t(10_000), 1, 0x5000)); // unmapped VA
             assert!(port.load_line(t(20_000), 2, 0x6000)); // behind the fault
         }
@@ -790,7 +835,11 @@ mod tests {
         h.tlb_insert(Vpn(0x5), Ppn(0x9), PagePerms::ro());
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.store(t(10_000), 1, 0x5000, Width::B8, 1));
         }
         h.tick(t(12_000));
@@ -809,13 +858,21 @@ mod tests {
         h.tlb_insert(Vpn(0x6), Ppn(0x9), PagePerms::rw());
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.load_line(t(10_000), 1, 0x5000));
         }
         h.tick(t(12_000));
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.load_line(t(20_000), 2, 0x6000)); // synonym
         }
         h.tick(t(22_000));
@@ -839,7 +896,11 @@ mod tests {
         h.set_switches(sw);
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.load_line(t(10_000), 1, 0x7000));
         }
         h.tick(t(12_000));
@@ -857,7 +918,11 @@ mod tests {
         h.set_switches(sw);
         {
             let (req, resp) = h.fabric_links();
-            let mut port = HubPort { req, resp };
+            let mut port = HubPort {
+                req,
+                resp,
+                tracer: duet_trace::Tracer::disabled(),
+            };
             assert!(port.amo(
                 t(10_000),
                 1,

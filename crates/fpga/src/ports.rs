@@ -10,6 +10,7 @@
 
 use duet_mem::types::{Addr, AmoOp, LineAddr, LineData, Width};
 use duet_sim::{Clock, LatencyBreakdown, Link, Time};
+use duet_trace::{EventKind, Tracer};
 
 /// Operations an accelerator may issue to a Memory Hub.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,6 +143,10 @@ pub struct HubPort<'a> {
     pub req: &'a mut Link<FpgaMemReq>,
     /// Hub → fabric responses/invalidations.
     pub resp: &'a mut Link<FpgaMemResp>,
+    /// Trace handle (events: fabric request issue / response pop). The
+    /// adapter installs a live one when tracing is enabled; defaults to
+    /// disabled.
+    pub tracer: Tracer,
 }
 
 impl HubPort<'_> {
@@ -207,12 +212,26 @@ impl HubPort<'_> {
 
     /// Issues a raw request. Returns false if the FIFO is full.
     pub fn issue(&mut self, now: Time, req: FpgaMemReq) -> bool {
-        self.req.push(now, req).is_ok()
+        let (id, addr) = (req.id, req.addr);
+        let ok = self.req.push(now, req).is_ok();
+        if ok {
+            self.tracer
+                .emit(now.as_ps(), EventKind::FabricReq, id, addr);
+        }
+        ok
     }
 
     /// Pops the next visible response.
     pub fn pop_resp(&mut self, now: Time) -> Option<FpgaMemResp> {
-        self.resp.pop(now)
+        let r = self.resp.pop(now)?;
+        let kind = match r.kind {
+            FpgaRespKind::LoadAck { .. } => 0,
+            FpgaRespKind::StoreAck { .. } => 1,
+            FpgaRespKind::Inv { .. } => 2,
+        };
+        self.tracer
+            .emit(now.as_ps(), EventKind::FabricResp, r.id, kind);
+        Some(r)
     }
 }
 
@@ -307,6 +326,7 @@ mod tests {
             let mut port = HubPort {
                 req: &mut req,
                 resp: &mut resp,
+                tracer: Tracer::disabled(),
             };
             assert!(port.load_line(t_slow, 1, 0x40));
         }
@@ -327,6 +347,7 @@ mod tests {
         let mut port = HubPort {
             req: &mut req,
             resp: &mut resp,
+            tracer: Tracer::disabled(),
         };
         assert!(port.pop_resp(Time::from_ps(20_000)).is_none());
         let r = port

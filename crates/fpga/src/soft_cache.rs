@@ -244,6 +244,7 @@ impl SoftCache {
 mod tests {
     use super::*;
     use duet_sim::{Clock, LatencyBreakdown, Link};
+    use duet_trace::Tracer;
 
     fn ports() -> (Link<crate::ports::FpgaMemReq>, Link<FpgaMemResp>) {
         let fast = Clock::ghz1();
@@ -262,6 +263,7 @@ mod tests {
         let mut hub = HubPort {
             req: &mut req,
             resp: &mut resp,
+            tracer: Tracer::disabled(),
         };
         assert_eq!(sc.load(t(10_000), 0x100, Width::B8, &mut hub), None);
         assert!(sc.fill_pending(LineAddr::containing(0x100)));
@@ -280,6 +282,7 @@ mod tests {
         let mut hub = HubPort {
             req: &mut req,
             resp: &mut resp,
+            tracer: Tracer::disabled(),
         };
         assert_eq!(sc.load(t(30_000), 0x100, Width::B8, &mut hub), Some(42));
         assert_eq!(sc.stats().hits, 1);
@@ -295,6 +298,7 @@ mod tests {
             let mut hub = HubPort {
                 req: &mut req,
                 resp: &mut resp,
+                tracer: Tracer::disabled(),
             };
             sc.tick(t(10_000), &mut hub);
         }
@@ -318,6 +322,7 @@ mod tests {
         let mut hub = HubPort {
             req: &mut req,
             resp: &mut resp,
+            tracer: Tracer::disabled(),
         };
         assert_eq!(sc.load(t(10_000), 0x300, Width::B8, &mut hub), Some(9));
     }
@@ -334,6 +339,7 @@ mod tests {
         let mut hub = HubPort {
             req: &mut req,
             resp: &mut resp,
+            tracer: Tracer::disabled(),
         };
         assert_eq!(sc.load(t(10_000), 0x300, Width::B8, &mut hub), None);
     }
@@ -347,6 +353,7 @@ mod tests {
             let mut hub = HubPort {
                 req: &mut req,
                 resp: &mut resp,
+                tracer: Tracer::disabled(),
             };
             sc.load(t(10_000), 0x400, Width::B8, &mut hub);
         }
@@ -368,6 +375,7 @@ mod tests {
         let mut hub = HubPort {
             req: &mut req,
             resp: &mut resp,
+            tracer: Tracer::disabled(),
         };
         assert_eq!(
             sc.load(t(20_000), 0x400, Width::B8, &mut hub),
@@ -405,6 +413,7 @@ mod tests {
             let mut hub = HubPort {
                 req: &mut req,
                 resp: &mut resp,
+                tracer: Tracer::disabled(),
             };
             // Trigger a fill via a load to the other half of the line.
             assert_eq!(sc.load(t(10_000), 0x508, Width::B8, &mut hub), None);
@@ -422,6 +431,7 @@ mod tests {
         let mut hub = HubPort {
             req: &mut req,
             resp: &mut resp,
+            tracer: Tracer::disabled(),
         };
         assert_eq!(
             sc.load(t(20_000), 0x500, Width::B8, &mut hub),

@@ -21,6 +21,7 @@ use duet_noc::NodeId;
 use duet_sim::{
     Clock, ClockDomain, Component, LatencyBreakdown, LineMap, Link, LinkReport, PagedMem, Time,
 };
+use duet_trace::{mesi, pack_mesi, EventKind, Tracer};
 
 use crate::array::CacheArray;
 use crate::msg::{CoherenceMsg, Grant};
@@ -133,6 +134,8 @@ pub struct L3Shard {
     /// shard's L3/memory access latency.
     out: Link<(NodeId, CoherenceMsg)>,
     stats: DirStats,
+    /// Trace handle (disabled unless the owning system enables tracing).
+    tracer: Tracer,
 }
 
 impl L3Shard {
@@ -148,7 +151,14 @@ impl L3Shard {
             incoming: VecDeque::new(),
             out: Link::pipe(),
             stats: DirStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the trace handle (events: MESI directory transitions and
+    /// owner writebacks). Purely observational.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The NoC node of this shard.
@@ -342,6 +352,8 @@ impl L3Shard {
             CoherenceMsg::PutM { line, data } => self.process_putm(now, src, line, data),
             CoherenceMsg::WBData { line, data } => {
                 self.backing.write(line.0, data);
+                self.tracer
+                    .emit(now.as_ps(), EventKind::Writeback, line.0, 1);
                 let e = self.dir.get_mut(line.0).expect("WBData without entry");
                 if let Some(busy) = &mut e.busy {
                     busy.need_wbdata = false;
@@ -389,6 +401,12 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MesiTransition,
+                    line.0,
+                    pack_mesi(mesi::I, mesi::EM, src),
+                );
                 let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
@@ -414,6 +432,12 @@ impl L3Shard {
                 if !sharers.contains(&src) {
                     sharers.push(src);
                 }
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MesiTransition,
+                    line.0,
+                    pack_mesi(mesi::S, mesi::S, src),
+                );
                 let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::S { sharers };
                 e.busy = Some(BusyTxn {
@@ -432,6 +456,12 @@ impl L3Shard {
                         requestor: src,
                         breakdown: bd,
                     },
+                );
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MesiTransition,
+                    line.0,
+                    pack_mesi(mesi::EM, mesi::S, src),
                 );
                 let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::S {
@@ -474,6 +504,12 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MesiTransition,
+                    line.0,
+                    pack_mesi(mesi::I, mesi::EM, src),
+                );
                 let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
@@ -508,6 +544,12 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MesiTransition,
+                    line.0,
+                    pack_mesi(mesi::S, mesi::EM, src),
+                );
                 let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
@@ -528,6 +570,12 @@ impl L3Shard {
                         breakdown: bd,
                     },
                 );
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MesiTransition,
+                    line.0,
+                    pack_mesi(mesi::EM, mesi::EM, src),
+                );
                 let e = self.dir.get_mut(line.0).unwrap();
                 e.state = DirState::EorM { owner: src };
                 e.busy = Some(BusyTxn {
@@ -546,6 +594,12 @@ impl L3Shard {
             e.state = DirState::I;
             self.backing.write(line.0, data);
             self.l3_tags.insert(line, [0; 16], ());
+            self.tracer.emit(
+                now.as_ps(),
+                EventKind::MesiTransition,
+                line.0,
+                pack_mesi(mesi::EM, mesi::I, src),
+            );
         }
         // Stale PutM (the sender was downgraded/invalidated while the PutM
         // was in flight): acknowledge but ignore the data.

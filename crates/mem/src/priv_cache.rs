@@ -20,6 +20,7 @@ use duet_noc::NodeId;
 use duet_sim::{
     merge_min, Clock, ClockDomain, Component, LatencyBreakdown, LineMap, Link, LinkReport, Time,
 };
+use duet_trace::{EventKind, Tracer};
 
 use crate::array::CacheArray;
 use crate::msg::{CoherenceMsg, Grant};
@@ -206,6 +207,8 @@ pub struct PrivCache {
     noc_out: Link<(NodeId, CoherenceMsg)>,
     back_inval: VecDeque<(LineAddr, InvalReason)>,
     stats: CacheStats,
+    /// Trace handle (disabled unless the owning system enables tracing).
+    tracer: Tracer,
 }
 
 impl PrivCache {
@@ -225,7 +228,14 @@ impl PrivCache {
             noc_out: Link::pipe(),
             back_inval: VecDeque::new(),
             stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the trace handle (events: MSHR allocate/retire, evictions'
+    /// writebacks). Purely observational.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The NoC node this cache sits on.
@@ -559,6 +569,12 @@ impl PrivCache {
             return;
         }
         let mut mshr = self.mshrs.remove(line.0).unwrap();
+        self.tracer.emit(
+            now.as_ps(),
+            EventKind::MshrRetire,
+            line.0,
+            self.mshrs.len() as u64,
+        );
         let (data, grant) = mshr.data.take().unwrap();
         // Release the home's busy state.
         let home = self.home.home_of(line);
@@ -648,6 +664,8 @@ impl PrivCache {
         self.back_inval.push_back((victim, InvalReason::Eviction));
         if matches!(state, LineState::M | LineState::E) {
             self.stats.writebacks += 1;
+            self.tracer
+                .emit(now.as_ps(), EventKind::Writeback, victim.0, 0);
             self.wb.insert(
                 victim.0,
                 WbEntry {
@@ -803,6 +821,12 @@ impl PrivCache {
                         breakdown,
                     },
                 );
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MshrAlloc,
+                    line.0,
+                    self.mshrs.len() as u64,
+                );
                 // Drop the S copy locally; the directory's Data response
                 // will re-supply it. (Keeping it would be legal MESI but the
                 // epoch argument in handle_msg relies on request-time state.)
@@ -832,6 +856,12 @@ impl PrivCache {
                         pending,
                         breakdown,
                     },
+                );
+                self.tracer.emit(
+                    now.as_ps(),
+                    EventKind::MshrAlloc,
+                    line.0,
+                    self.mshrs.len() as u64,
                 );
                 let home = self.home.home_of(line);
                 let msg = if needs_m {

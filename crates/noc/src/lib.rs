@@ -39,6 +39,7 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use duet_sim::{merge_min, Clock, ClockDomain, Component, Link, LinkReport, PushError, Time};
+use duet_trace::{pack_hop, pack_noc, EventKind, Tracer};
 
 /// Identifies a mesh node (tile). Row-major: `id = y * width + x`.
 pub type NodeId = usize;
@@ -85,6 +86,10 @@ pub struct Message<P> {
     pub flits: u32,
     /// When the message entered the network (set by [`Mesh::inject`]).
     pub injected_at: Time,
+    /// Mesh-wide transaction id (set by [`Mesh::inject`] from a
+    /// deterministic counter, tracing on or off) — lets a trace follow one
+    /// message across hops.
+    pub trace_id: u64,
     /// Protocol payload.
     pub payload: P,
 }
@@ -103,6 +108,7 @@ impl<P> Message<P> {
             vnet,
             flits,
             injected_at: Time::ZERO,
+            trace_id: 0,
             payload,
         }
     }
@@ -262,6 +268,12 @@ pub struct Mesh<P> {
     /// Nodes with at least one message in an ejection queue, kept sorted so
     /// draining them in worklist order matches the ascending all-nodes scan.
     eject_active: BTreeSet<NodeId>,
+    /// Monotone transaction-id counter, stamped onto every injected
+    /// message whether or not tracing is on (so enabling tracing never
+    /// perturbs state).
+    trace_seq: u64,
+    /// Trace handle (disabled unless the owning system enables tracing).
+    tracer: Tracer,
 }
 
 impl<P> Mesh<P> {
@@ -294,12 +306,21 @@ impl<P> Mesh<P> {
             scratch: Vec::new(),
             eject_pending: 0,
             eject_active: BTreeSet::new(),
+            trace_seq: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The mesh configuration.
     pub fn config(&self) -> &MeshConfig {
         &self.cfg
+    }
+
+    /// Installs the trace handle (events: flit inject/route/eject per
+    /// virtual network). Purely observational — results are bit-identical
+    /// with or without it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Traffic statistics so far.
@@ -327,9 +348,15 @@ impl<P> Mesh<P> {
         assert!(msg.src < self.cfg.nodes(), "source out of range");
         assert!(msg.dst < self.cfg.nodes(), "destination out of range");
         msg.injected_at = now;
+        self.trace_seq += 1;
+        msg.trace_id = self.trace_seq;
         let vnet = msg.vnet.index();
         let node = msg.src;
+        let packed = pack_noc(msg.src, msg.dst, vnet, msg.flits);
+        let trace_id = msg.trace_id;
         self.routers[node].inputs[Port::Local as usize][vnet].push(now, msg)?;
+        self.tracer
+            .emit(now.as_ps(), EventKind::NocInject, trace_id, packed);
         self.routers[node].occ |= 1 << (Port::Local as usize * VNET_COUNT + vnet);
         self.stats.injected += 1;
         self.active.insert(node);
@@ -525,11 +552,23 @@ impl<P> Mesh<P> {
                     self.stats.delivered += 1;
                     self.stats.delivered_flits += u64::from(msg.flits);
                     self.stats.total_latency += now.saturating_sub(msg.injected_at);
+                    self.tracer.emit(
+                        now.as_ps(),
+                        EventKind::NocEject,
+                        msg.trace_id,
+                        pack_noc(msg.src, msg.dst, vn, msg.flits),
+                    );
                     self.eject[node][vn].push_back(msg);
                     self.eject_pending += 1;
                     self.eject_active.insert(node);
                 } else {
                     let (nb, in_port) = self.neighbor(node, out);
+                    self.tracer.emit(
+                        now.as_ps(),
+                        EventKind::NocRoute,
+                        msg.trace_id,
+                        pack_hop(node, out as usize, vn),
+                    );
                     self.routers[nb].inputs[in_port as usize][vn]
                         .push(now, msg)
                         .expect("space was checked");

@@ -7,6 +7,11 @@ use crate::time::Time;
 
 /// A named monotonic event counter.
 ///
+/// Counters always carry a name — construct with [`Counter::new`]. (There
+/// is deliberately no `Default`: a defaulted counter would have an empty
+/// name, which renders as a bare `" = N"` line in reports and collides
+/// with every other unnamed counter in a metrics namespace.)
+///
 /// # Example
 ///
 /// ```
@@ -16,7 +21,7 @@ use crate::time::Time;
 /// c.inc();
 /// assert_eq!(c.value(), 4);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Counter {
     name: String,
     value: u64,

@@ -17,6 +17,7 @@ use duet_mem::types::{read_scalar, LineAddr, MemReq, Width, LINE_BYTES};
 use duet_mem::L3Shard;
 use duet_noc::{Mesh, NodeId};
 use duet_sim::{DualClock, IdSlab, Link, Time};
+use duet_trace::{Scoreboard, TraceConfig, TraceSession, Tracer};
 
 use crate::config::{SystemConfig, Variant};
 use crate::run_loop::OsTask;
@@ -82,6 +83,16 @@ pub struct System {
     /// components. Cycle-for-cycle identical to exhaustive ticking; turn
     /// off only to cross-check (see the differential determinism tests).
     pub(crate) skip_enabled: bool,
+    /// Per-run trace session, when [`enable_tracing`](System::enable_tracing)
+    /// was called. Tracing is strictly observational: fingerprints and all
+    /// timing statistics are bit-identical with it on or off.
+    pub(crate) trace: Option<TraceSession>,
+    /// Run-loop trace handle (edge execution and horizon skips).
+    pub(crate) sys_tracer: Tracer,
+    /// Accelerator trace handle (start/stall/done).
+    pub(crate) accel_tracer: Tracer,
+    /// Shadow of the accelerator's busy state, for start/done edges.
+    pub(crate) accel_busy: bool,
 }
 
 impl System {
@@ -91,6 +102,64 @@ impl System {
     /// cross-check against exhaustive edge-by-edge ticking.
     pub fn set_edge_skipping(&mut self, on: bool) {
         self.skip_enabled = on;
+    }
+
+    /// Enables event tracing for subsequent runs: creates a per-run
+    /// [`TraceSession`] and threads trace handles through every layer (run
+    /// loop, mesh, private L2s, L3 shards, adapter hubs, accelerator
+    /// ports). Components register in the canonical walk order, one trace
+    /// track each. Calling again replaces the previous session.
+    ///
+    /// Tracing is purely observational — simulation results, fingerprints,
+    /// and all timing statistics are bit-identical with it on or off (the
+    /// differential tests assert this).
+    pub fn enable_tracing(&mut self, tcfg: &TraceConfig) {
+        let mut session = TraceSession::new(tcfg);
+        self.sys_tracer = session.tracer("runloop");
+        self.mesh.set_tracer(session.tracer("mesh"));
+        for i in 0..self.l2s.len() {
+            let node = self.cfg.core_node(i);
+            self.l2s[i].set_tracer(session.tracer(&format!("l2@n{node}")));
+        }
+        for s in self.shards.iter_mut() {
+            let node = s.node();
+            s.set_tracer(session.tracer(&format!("l3@n{node}")));
+        }
+        if let Some(a) = self.adapter.as_mut() {
+            a.install_tracers(&mut session);
+        }
+        self.accel_tracer = session.tracer("accel");
+        if let Some(a) = self.adapter.as_mut() {
+            a.set_fabric_tracer(self.accel_tracer.clone());
+        }
+        self.trace = Some(session);
+    }
+
+    /// Whether a trace session is active.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The active trace session (event inspection), if any.
+    pub fn trace_session(&self) -> Option<&TraceSession> {
+        self.trace.as_ref()
+    }
+
+    /// Exports the captured trace as Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`), if tracing is enabled.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| t.chrome_trace())
+    }
+
+    /// Exports the captured trace as a plain-text event log.
+    pub fn trace_text_log(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| t.text_log())
+    }
+
+    /// Derived scoreboards (latency histograms, MESI transition counts)
+    /// computed from the captured events.
+    pub fn trace_scoreboard(&self) -> Option<Scoreboard> {
+        self.trace.as_ref().map(|t| t.scoreboard())
     }
 
     /// The configuration.

@@ -103,6 +103,10 @@ impl System {
             // On unless DUET_DISABLE_EDGE_SKIP=1 (the exhaustive baseline
             // loop, for A/B wall-clock comparisons; results are identical).
             skip_enabled: !std::env::var("DUET_DISABLE_EDGE_SKIP").is_ok_and(|v| v == "1"),
+            trace: None,
+            sys_tracer: duet_trace::Tracer::disabled(),
+            accel_tracer: duet_trace::Tracer::disabled(),
+            accel_busy: false,
             cfg,
         })
     }

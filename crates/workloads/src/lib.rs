@@ -19,6 +19,6 @@ pub mod tangent;
 
 pub use common::{AppResult, BenchVariant};
 pub use synthetic::{
-    measure_bandwidth, measure_contention, measure_latency, BandwidthPoint, ContentionPoint,
-    LatencyPoint, Mechanism, Scratchpad,
+    measure_bandwidth, measure_contention, measure_latency, measure_latency_traced, BandwidthPoint,
+    ContentionPoint, LatencyPoint, Mechanism, Scratchpad,
 };

@@ -21,6 +21,7 @@ use duet_fpga::regfile::FabricRegFile;
 use duet_mem::types::Width;
 use duet_sim::{LatencyBreakdown, Time};
 use duet_system::{System, SystemConfig, Variant};
+use duet_trace::TraceConfig;
 
 /// Soft-register assignments of the scratchpad design.
 pub mod sp_reg {
@@ -431,7 +432,24 @@ fn reg_addr(base: u64, r: usize) -> i64 {
 
 /// Measures one Fig. 9 point.
 pub fn measure_latency(mechanism: Mechanism, fpga_mhz: f64) -> LatencyPoint {
+    measure_latency_traced(mechanism, fpga_mhz, None).0
+}
+
+/// Measures one Fig. 9 point, optionally with event tracing enabled.
+///
+/// When `trace` is `Some`, the run captures a full event trace and the
+/// returned string is its Chrome trace-event JSON (loadable in Perfetto) —
+/// one track per component, flow arrows following each NoC transaction
+/// across hops. The measured latency is bit-identical either way.
+pub fn measure_latency_traced(
+    mechanism: Mechanism,
+    fpga_mhz: f64,
+    trace: Option<&TraceConfig>,
+) -> (LatencyPoint, Option<String>) {
     let (mut sys, events) = build_system(mechanism, 1, fpga_mhz);
+    if let Some(tcfg) = trace {
+        sys.enable_tracing(tcfg);
+    }
     let base = sys.config().mmio_base;
     let clock = sys.config().clock;
     let deadline = Time::from_us(20_000);
@@ -439,7 +457,7 @@ pub fn measure_latency(mechanism: Mechanism, fpga_mhz: f64) -> LatencyPoint {
     let t0_addr = 0x9000i64;
     let t1_addr = 0x9008i64;
 
-    match mechanism {
+    let point = match mechanism {
         Mechanism::NormalReg | Mechanism::ShadowReg => {
             // Pre-load the result queue so the read's data is ready (the
             // paper measures access latency, not accelerator compute time).
@@ -586,7 +604,9 @@ pub fn measure_latency(mechanism: Mechanism, fpga_mhz: f64) -> LatencyPoint {
                 links: sys.link_reports(),
             }
         }
-    }
+    };
+    let json = sys.trace_chrome_json();
+    (point, json)
 }
 
 /// One measured point of Fig. 10.

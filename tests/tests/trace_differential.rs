@@ -1,0 +1,217 @@
+//! Tracing must be an observer, never a participant: enabling the event
+//! trace cannot change a single simulated cycle, and the exported Chrome
+//! JSON must be structurally valid with the expected tracks and flow
+//! arrows.
+//!
+//! The differential test runs the same scenario across the full
+//! {trace off, trace on} × {edge-skip off, edge-skip on} matrix and
+//! requires all four fingerprints to be bit-identical.
+
+use std::sync::Arc;
+
+use duet_core::RegMode;
+use duet_cpu::asm::Asm;
+use duet_cpu::isa::regs;
+use duet_sim::Time;
+use duet_system::{System, SystemConfig};
+use duet_trace::{export::validate_json, masks, EventKind, TraceConfig};
+use duet_workloads::popcount::PopcountAccel;
+
+/// Everything observable about a finished run, as one comparable string.
+/// Uses the unified metrics registry, so every counter in the simulator
+/// participates (minus `link.*.rejected_pushes`, which counts *attempts*
+/// and legitimately differs across edge-skip modes).
+fn fingerprint(sys: &System, halt: Time, quiesced: Time, mem: &[(u64, usize)]) -> String {
+    let mut s = format!("halt={halt} quiesced={quiesced} now={}\n", sys.now());
+    for (name, value) in sys.metrics_registry().iter() {
+        if name.starts_with("link.") && name.ends_with(".rejected_pushes") {
+            continue;
+        }
+        // Process-wide atomics accumulate across runs in one test binary,
+        // and executed_edges counts only non-skipped edges — both vary by
+        // design across runs/skip modes.
+        if name.starts_with("process.") || name == "run.executed_edges" {
+            continue;
+        }
+        s.push_str(&format!("{name}={value}\n"));
+    }
+    for &(addr, words) in mem {
+        for k in 0..words as u64 {
+            s.push_str(&format!(
+                "m[{:#x}]={:#x}\n",
+                addr + 8 * k,
+                sys.peek_u64(addr + 8 * k)
+            ));
+        }
+    }
+    s
+}
+
+/// A small two-core producer/consumer over shared memory: exercises the
+/// NoC, the private caches, and the directory without needing the slow
+/// clock domain.
+fn two_core_system() -> System {
+    let mut sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
+    let mut a = Asm::new();
+    a.label("producer");
+    a.li(regs::T[0], 0x1000);
+    a.li(regs::T[1], 0xBEEF);
+    a.sd(regs::T[1], regs::T[0], 0);
+    a.fence();
+    a.li(regs::T[2], 0x2000);
+    a.li(regs::T[3], 1);
+    a.sd(regs::T[3], regs::T[2], 0);
+    a.halt();
+    a.label("consumer");
+    a.li(regs::T[0], 0x2000);
+    a.label("spin");
+    a.ld(regs::T[1], regs::T[0], 0);
+    a.beqz(regs::T[1], "spin");
+    a.li(regs::T[2], 0x1000);
+    a.ld(regs::T[3], regs::T[2], 0);
+    a.li(regs::T[4], 0x3000);
+    a.sd(regs::T[3], regs::T[4], 0);
+    a.fence();
+    a.halt();
+    let prog = Arc::new(a.assemble().unwrap());
+    sys.load_program(0, prog.clone(), "producer");
+    sys.load_program(1, prog, "consumer");
+    sys
+}
+
+/// The quickstart-style popcount system: accelerator through shadow
+/// registers and the Proxy Cache — covers the adapter, CDC, slow domain,
+/// and accelerator trace hooks.
+fn popcount_system() -> System {
+    let mut sys = System::new(SystemConfig::dolly(1, 1, 189.0)).expect("valid config");
+    sys.set_reg_mode(0, RegMode::FpgaBound);
+    sys.set_reg_mode(1, RegMode::CpuBound);
+    sys.attach_accelerator(Box::new(PopcountAccel::new(true)));
+    let vec_addr = 0x1_0000u64;
+    let data: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+    sys.poke_bytes(vec_addr, &data);
+    let mmio = sys.config().mmio_base;
+    let mut a = Asm::new();
+    a.label("main");
+    a.li(regs::T[0], mmio as i64);
+    a.li(regs::T[1], vec_addr as i64);
+    a.sd(regs::T[1], regs::T[0], 0);
+    a.ld(regs::T[2], regs::T[0], 8);
+    a.li(regs::T[3], 0x2_0000);
+    a.sd(regs::T[2], regs::T[3], 0);
+    a.fence();
+    a.halt();
+    sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
+    sys
+}
+
+/// Runs `build` across the {trace, skip} matrix and asserts all four
+/// fingerprints are bit-identical.
+fn assert_trace_invisible(build: impl Fn() -> System, deadline: Time, mem: &[(u64, usize)]) {
+    let run = |trace: bool, skip: bool| {
+        let mut sys = build();
+        if trace {
+            sys.enable_tracing(&TraceConfig::default());
+        }
+        sys.set_edge_skipping(skip);
+        let halt = sys.run_until_halt(deadline);
+        let quiesced = sys.quiesce(deadline + Time::from_us(1_000));
+        fingerprint(&sys, halt, quiesced, mem)
+    };
+    let baseline = run(false, false);
+    for (trace, skip) in [(false, true), (true, false), (true, true)] {
+        assert_eq!(
+            baseline,
+            run(trace, skip),
+            "fingerprint diverged at trace={trace} skip={skip}"
+        );
+    }
+}
+
+#[test]
+fn differential_trace_onoff_skip_onoff_two_cores() {
+    assert_trace_invisible(
+        two_core_system,
+        Time::from_us(5_000),
+        &[(0x1000, 1), (0x2000, 1), (0x3000, 1)],
+    );
+}
+
+#[test]
+fn differential_trace_onoff_skip_onoff_popcount_accel() {
+    assert_trace_invisible(popcount_system, Time::from_us(1_000), &[(0x2_0000, 1)]);
+}
+
+/// Golden structural checks on the Chrome JSON from a tiny two-node run:
+/// parses, names its per-component tracks, and carries at least one full
+/// inject→eject flow arrow across the NoC.
+#[test]
+fn chrome_json_golden_tiny_two_node_run() {
+    let mut sys = two_core_system();
+    sys.enable_tracing(&TraceConfig::default());
+    sys.run_until_halt(Time::from_us(5_000));
+    sys.quiesce(Time::from_us(6_000));
+
+    let json = sys.trace_chrome_json().expect("tracing enabled");
+    validate_json(&json).expect("chrome trace must be valid JSON");
+
+    // Golden header: exact process-metadata record (nothing dropped on a
+    // run this small, the ring holds 1 Mi events).
+    assert!(json.starts_with(
+        "{\"traceEvents\":[\n{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"duet-sim (dropped_events=0)\"}}"
+    ));
+    // Per-component tracks, in canonical registration order: runloop is
+    // component 0, mesh component 1, then the L2s and L3 shards.
+    for (tid, track) in [(0, "runloop"), (1, "mesh"), (2, "l2@n0"), (3, "l2@n1")] {
+        assert!(
+            json.contains(&format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{track}\"}}}}"
+            )),
+            "missing track {track}"
+        );
+    }
+    // Flow arrows: start at inject, finish at eject, same transaction id.
+    assert!(json.contains("\"ph\":\"s\""), "missing flow start");
+    assert!(json.contains("\"ph\":\"t\""), "missing flow step");
+    assert!(json.contains("\"ph\":\"f\""), "missing flow finish");
+
+    // The text log and scoreboard views of the same session agree.
+    let log = sys.trace_text_log().expect("tracing enabled");
+    assert!(log.contains("0 dropped"));
+    assert!(log.contains("mesh"));
+    let sb = sys.trace_scoreboard().expect("tracing enabled");
+    let scored: u64 = sb.noc_latency.iter().map(|h| h.count()).sum();
+    assert!(scored > 0, "no inject→eject pairs scored");
+    assert!(
+        !sb.mesi_transitions.is_empty(),
+        "no MESI transitions scored"
+    );
+
+    // Event-level sanity: the session saw coherence traffic.
+    let session = sys.trace_session().expect("tracing enabled");
+    let events = session.events();
+    assert!(events
+        .iter()
+        .any(|e| e.kind == EventKind::MesiTransition as u8));
+    assert!(events.iter().any(|e| e.kind == EventKind::NocInject as u8));
+    assert_eq!(session.dropped(), 0);
+}
+
+/// The mask narrows what is captured without touching simulation state.
+#[test]
+fn mask_restricts_captured_kinds() {
+    let mut sys = two_core_system();
+    sys.enable_tracing(&TraceConfig::default().with_mask(masks::NOC));
+    sys.run_until_halt(Time::from_us(5_000));
+    sys.quiesce(Time::from_us(6_000));
+    let events = sys.trace_session().expect("tracing enabled").events();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| {
+        matches!(
+            EventKind::from_u8(e.kind),
+            Some(EventKind::NocInject | EventKind::NocRoute | EventKind::NocEject)
+        )
+    }));
+}
