@@ -198,8 +198,10 @@ fn main() {
         for core in 0..4 {
             sys.load_program(core, stream.clone(), "main");
         }
-        sys.run_until_halt(Time::from_us(4_000));
-        sys.quiesce(Time::from_us(5_000));
+        sys.run_until_halt(Time::from_us(4_000))
+            .unwrap_or_else(|e| panic!("{e}"));
+        sys.quiesce(Time::from_us(5_000))
+            .unwrap_or_else(|e| panic!("{e}"));
         let s = sys.stats();
         s.fast_edges + s.slow_edges
     });
@@ -249,7 +251,7 @@ fn main() {
             "system/p4m1_idle_heavy_skip_off"
         };
         bench(&filter, label, || {
-            let mut sys = System::new(idle_cfg).expect("valid config");
+            let mut sys = System::new(idle_cfg.clone()).expect("valid config");
             sys.set_edge_skipping(skip);
             for r in [sp_reg::CMD, sp_reg::RESULT, sp_reg::DATA] {
                 sys.set_reg_mode(r, RegMode::Normal);
@@ -257,7 +259,8 @@ fn main() {
             let events = std::rc::Rc::new(std::cell::RefCell::new(SpEvents::default()));
             sys.attach_accelerator(Box::new(Scratchpad::new(false, events)));
             sys.load_program(0, mmio.clone(), "main");
-            sys.run_until_halt(Time::from_us(200));
+            sys.run_until_halt(Time::from_us(200))
+                .unwrap_or_else(|e| panic!("{e}"));
             let s = sys.stats();
             s.fast_edges + s.slow_edges
         });

@@ -112,4 +112,5 @@ fn sync_stage_sweep() {
     let _ = measure_bandwidth; // referenced for future extension
     let _ = Time::ZERO;
     duet_bench::maybe_write_trace("ablation");
+    duet_bench::maybe_run_faulted("ablation");
 }

@@ -79,21 +79,30 @@ fn stream_stores_edges_per_sec() -> f64 {
     for core in 0..4 {
         sys.load_program(core, stream.clone(), "main");
     }
-    sys.run_until_halt(Time::from_us(4_000));
-    sys.quiesce(Time::from_us(5_000));
+    sys.run_until_halt(Time::from_us(4_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(5_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let wall = start.elapsed().as_secs_f64().max(1e-9);
     let (edges, _) = metrics::snapshot();
     let eps = edges as f64 / wall;
     println!("# stream_stores_p4 throughput: {eps:.3e} edges/sec (wall {wall:.3}s)");
+    // The runtime-verification verdict for the leg: deterministic counters
+    // (checked-message totals and violation counts), never wall-clock.
+    for (name, value) in sys.metrics_registry().iter() {
+        if name.starts_with("verify.") {
+            println!("# stream_stores_p4 {name} = {value}");
+        }
+    }
     eps
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     // First non-flag argument (skipping flag values) is the output path.
     let mut out_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--trace" || a == "--threads" {
+        if a == "--trace" || a == "--threads" || a == "--faults" {
             args.next();
         } else if !a.starts_with("--") && out_path.is_none() {
             out_path = Some(a);
@@ -114,8 +123,13 @@ fn main() {
     body.push_str(&format!(
         "    \"stream_stores_p4_coherence_heavy\": {stream:.3e}\n  }}\n}}\n"
     ));
-    std::fs::write(&out_path, &body).expect("write bench json");
+    // A full disk or bad path is a clean error for CI to show, not a panic.
+    std::fs::write(&out_path, &body).map_err(|e| {
+        std::io::Error::new(e.kind(), format!("writing bench json to {out_path}: {e}"))
+    })?;
     println!("# wrote {out_path}");
 
     duet_bench::maybe_write_trace("bench_smoke");
+    duet_bench::maybe_run_faulted("bench_smoke");
+    Ok(())
 }

@@ -46,5 +46,6 @@ fn main() {
     let s100 = lookup(Mechanism::EfpgaPullSlow, 100.0).mbps();
     println!("# measured proxy/slow gap @100 MHz: {:.1}x", p100 / s100);
     duet_bench::maybe_write_trace("fig10");
+    duet_bench::maybe_run_faulted("fig10");
     tp.report("fig10");
 }

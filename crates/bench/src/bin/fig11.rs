@@ -48,5 +48,6 @@ fn main() {
         knee(|r| r.2, &rows)
     );
     duet_bench::maybe_write_trace("fig11");
+    duet_bench::maybe_run_faulted("fig11");
     tp.report("fig11");
 }

@@ -202,5 +202,6 @@ fn main() {
         base_tile_area_mm2()
     );
     duet_bench::maybe_write_trace("fig12");
+    duet_bench::maybe_run_faulted("fig12");
     tp.report("fig12");
 }

@@ -109,5 +109,6 @@ fn main() {
             Err(e) => eprintln!("# fig9: failed to write trace to {path}: {e}"),
         }
     }
+    duet_bench::maybe_run_faulted("fig9");
     tp.report("fig9");
 }

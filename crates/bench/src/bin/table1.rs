@@ -45,5 +45,6 @@ fn main() {
         100.0 * adapter / m.processor_only_mm2()
     );
     duet_bench::maybe_write_trace("table1");
+    duet_bench::maybe_run_faulted("table1");
     tp.report("table1");
 }

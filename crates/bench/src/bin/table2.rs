@@ -86,5 +86,6 @@ fn main() {
     println!();
     println!("# Paper note: accelerators run at 8%-28% of the 1 GHz processor clock.");
     duet_bench::maybe_write_trace("table2");
+    duet_bench::maybe_run_faulted("table2");
     tp.report("table2");
 }

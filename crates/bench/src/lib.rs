@@ -124,6 +124,90 @@ pub fn maybe_write_trace(label: &str) -> Option<String> {
     }
 }
 
+/// The fault-plan path, if the user asked for one: `--faults <path>` (or
+/// `--faults=<path>`) from the command line, else the `DUET_FAULTS`
+/// environment variable. `None` means no fault injection (the default).
+pub fn configured_fault_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            if let Some(p) = args.next() {
+                return Some(p);
+            }
+        } else if let Some(p) = a.strip_prefix("--faults=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("DUET_FAULTS").ok().filter(|p| !p.is_empty())
+}
+
+/// Honors `--faults <plan>` / `DUET_FAULTS` on the figure harnesses:
+/// loads the [`duet_system::FaultPlan`] text file, runs one representative
+/// accelerated scenario (the quickstart popcount on Dolly-P1M1) under that
+/// plan with the runtime checkers live, and prints the outcome plus every
+/// deterministic `verify.*` metric. Unreadable or unparsable plans are
+/// clean errors on stderr, not panics. No-op when no plan is configured.
+/// Returns the plan path on a completed run.
+pub fn maybe_run_faulted(label: &str) -> Option<String> {
+    use duet_cpu::asm::Asm;
+    use duet_cpu::isa::regs;
+    use duet_system::{System, SystemConfig};
+    use std::sync::Arc;
+
+    let path = configured_fault_path()?;
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("# {label}: cannot read fault plan {path}: {e}");
+            return None;
+        }
+    };
+    let plan = match duet_system::FaultPlan::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("# {label}: bad fault plan {path}: {e}");
+            return None;
+        }
+    };
+    println!(
+        "# {label}: fault plan {path}: seed {}, {} fault(s), degrade {}",
+        plan.seed,
+        plan.specs.len(),
+        if plan.degrade.is_some() { "on" } else { "off" },
+    );
+    let mut cfg = SystemConfig::dolly(1, 1, 189.0);
+    cfg.faults = plan;
+    let mut sys = System::new(cfg).expect("valid config");
+    sys.set_reg_mode(0, duet_core::RegMode::FpgaBound);
+    sys.set_reg_mode(1, duet_core::RegMode::CpuBound);
+    sys.attach_accelerator(Box::new(duet_workloads::popcount::PopcountAccel::new(true)));
+    let vec_addr = 0x1_0000u64;
+    let data: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+    sys.poke_bytes(vec_addr, &data);
+    let mmio = sys.config().mmio_base;
+    let mut a = Asm::new();
+    a.label("main");
+    a.li(regs::T[0], mmio as i64);
+    a.li(regs::T[1], vec_addr as i64);
+    a.sd(regs::T[1], regs::T[0], 0);
+    a.ld(regs::T[2], regs::T[0], 8);
+    a.li(regs::T[3], 0x2_0000);
+    a.sd(regs::T[2], regs::T[3], 0);
+    a.fence();
+    a.halt();
+    sys.load_program(0, Arc::new(a.assemble().expect("static program")), "main");
+    match sys.run_until_halt(duet_sim::Time::from_us(2_000)) {
+        Ok(t) => println!("# {label}: faulted popcount run completed at {t}"),
+        Err(e) => println!("# {label}: faulted popcount run failed:\n{e}"),
+    }
+    for (name, value) in sys.metrics_registry().iter() {
+        if name.starts_with("verify.") {
+            println!("# {label}: {name} = {value}");
+        }
+    }
+    Some(path)
+}
+
 /// Measures wall time and simulation-throughput counters across a
 /// harness's working section; [`Throughput::report`] prints the standard
 /// `throughput:` line.

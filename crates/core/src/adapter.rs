@@ -317,6 +317,40 @@ impl DuetAdapter {
         self.control.take_reset()
     }
 
+    /// Fences a non-progressing accelerator (graceful degradation, the
+    /// paper's adapter guarantee): the control hub deactivates its
+    /// soft-register interface and fails the head-of-line blocked MMIO
+    /// access with `BOGUS`, and every Memory Hub drops its in-flight
+    /// faulting request and deactivates. Proxy Caches stay fully coherent —
+    /// outstanding MSHRs complete and future invalidations are honoured, so
+    /// the rest of the mesh is unaffected. Returns the number of hubs
+    /// fenced.
+    pub fn fence_accelerator(&mut self, now: Time) -> usize {
+        self.control.fence(now);
+        for h in &mut self.hubs {
+            h.kill();
+        }
+        self.hubs.len()
+    }
+
+    /// Aggregate fabric-progress signature (control-hub register traffic
+    /// plus per-hub memory traffic). Strictly monotone while the
+    /// accelerator interacts with the adapter; constant while it is hung.
+    pub fn progress_signature(&self) -> u64 {
+        let mut sig = self.control.progress_signature();
+        for h in &self.hubs {
+            sig = sig.wrapping_add(h.progress_signature());
+        }
+        sig
+    }
+
+    /// Freezes or thaws one hub's fabric CDC FIFO pair (fault injection).
+    pub fn set_hub_fabric_frozen(&mut self, hub: usize, frozen: bool) {
+        if let Some(h) = self.hubs.get_mut(hub) {
+            h.set_fabric_frozen(frozen);
+        }
+    }
+
     /// Whether any input is pending on the fabric side of the adapter's
     /// CDC FIFOs: register traffic or a reset in the control hub's down
     /// path, or a memory response awaiting a fabric pop. While this holds,

@@ -39,6 +39,9 @@ pub mod error_codes {
     pub const TIMEOUT: u64 = 0x10;
     /// Bitstream integrity check failed.
     pub const BITSTREAM_CORRUPT: u64 = 0x11;
+    /// The adapter watchdog fenced a non-progressing accelerator; the
+    /// interface is deactivated until software clears the error.
+    pub const ACCEL_FENCED: u64 = 0x12;
 }
 
 /// MMIO offsets within an adapter's device region.
@@ -472,6 +475,44 @@ impl ControlHub {
             self.error_code = code;
             self.irqs.push_back(IrqCause::Exception { code });
         }
+    }
+
+    /// Fences the soft-register interface after the adapter watchdog
+    /// declared the accelerator hung: deactivates the interface (subsequent
+    /// accesses answer [`BOGUS`] immediately), latches
+    /// [`error_codes::ACCEL_FENCED`], and fails the head-of-line blocked
+    /// access — if any — with [`BOGUS`] so the issuing core unblocks. The
+    /// paper's adapter guarantee: a wedged kernel must never wedge the host.
+    pub fn fence(&mut self, now: Time) {
+        self.active = false;
+        self.raise(error_codes::ACCEL_FENCED);
+        // Abandon fabric-bound register events: the design is fenced off
+        // and will never consume them, and they must not hold up
+        // quiescence.
+        self.down.clear();
+        if let Some(w) = self.waiting.take() {
+            let (id, reply_to) = match w {
+                WaitSt::NormalTxn { id, reply_to, .. }
+                | WaitSt::CpuBound { id, reply_to, .. }
+                | WaitSt::DownSpace { id, reply_to, .. }
+                | WaitSt::DownSpaceThenTxn { id, reply_to, .. } => (id, reply_to),
+            };
+            self.stats.timeouts += 1;
+            self.respond_now(now, id, BOGUS, reply_to);
+        }
+    }
+
+    /// Monotone count of fabric-side soft-register activity: events the
+    /// fabric consumed from the down FIFO, events it produced into the up
+    /// FIFO, *and* events the CPU side pushed toward the fabric. The
+    /// adapter watchdog samples this: a signature that stops advancing
+    /// while work is pending means the accelerator hung. Counting arrivals
+    /// (down pushes) re-arms the watchdog at the instant new work shows up,
+    /// which is a deterministic, edge-skip-invariant event — so an
+    /// accelerator that hangs before consuming its very first input is
+    /// still fenced exactly `fence_after` later in both scheduling modes.
+    pub fn progress_signature(&self) -> u64 {
+        self.down.stats().pops + self.down.stats().pushes + self.up.stats().pushes
     }
 
     /// Advances the hub by one fast-clock edge.

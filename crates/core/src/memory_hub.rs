@@ -290,6 +290,20 @@ impl MemoryHub {
         (&mut self.req_fifo, &mut self.resp_fifo)
     }
 
+    /// Freezes or thaws both fabric-side CDC FIFOs (fault injection: a
+    /// stuck synchronizer). Contents are preserved across the freeze.
+    pub fn set_fabric_frozen(&mut self, frozen: bool) {
+        self.req_fifo.set_frozen(frozen);
+        self.resp_fifo.set_frozen(frozen);
+    }
+
+    /// Monotone count of fabric-side memory activity (requests the fabric
+    /// issued plus responses it consumed). The adapter watchdog samples
+    /// this to distinguish a hung accelerator from a slow one.
+    pub fn progress_signature(&self) -> u64 {
+        self.req_fifo.stats().pushes + self.resp_fifo.stats().pops
+    }
+
     /// Proxy-cache statistics.
     pub fn proxy_stats(&self) -> duet_mem::priv_cache::CacheStats {
         self.proxy.stats()
@@ -298,6 +312,11 @@ impl MemoryHub {
     /// Reads a line resident in the Proxy Cache (coherent peek support).
     pub fn peek_proxy_line(&self, line: LineAddr) -> Option<duet_mem::types::LineData> {
         self.proxy.peek_line(line)
+    }
+
+    /// The Proxy Cache's stable MESI state for a line (verification aid).
+    pub fn proxy_line_state(&self, line: LineAddr) -> Option<duet_mem::LineState> {
+        self.proxy.line_state(line)
     }
 
     /// Whether the proxy and its NoC-facing state are drained (the fabric

@@ -238,6 +238,25 @@ impl L3Shard {
         }
     }
 
+    /// Deterministic (line-sorted) snapshot of every tracked directory
+    /// entry: `(line, owner, sharers, busy)`. Verification aid for
+    /// structural directory/cache agreement sweeps; idle `I` lines with no
+    /// queued work are included only while the map still tracks them.
+    pub fn dir_entries(&self) -> Vec<(LineAddr, Option<NodeId>, Vec<NodeId>, bool)> {
+        let mut out = Vec::new();
+        for key in self.dir.sorted_keys() {
+            if let Some(e) = self.dir.get(key) {
+                let (owner, sharers) = match &e.state {
+                    DirState::I => (None, Vec::new()),
+                    DirState::S { sharers } => (None, sharers.clone()),
+                    DirState::EorM { owner } => (Some(*owner), Vec::new()),
+                };
+                out.push((LineAddr(key), owner, sharers, e.busy.is_some()));
+            }
+        }
+        out
+    }
+
     /// Whether any transaction is in flight or queued. O(1): blocked lines
     /// are counted incrementally in [`L3Shard::tick`].
     pub fn is_idle(&self) -> bool {

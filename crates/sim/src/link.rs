@@ -103,6 +103,10 @@ enum Transport<T> {
 pub struct Link<T> {
     transport: Transport<T>,
     stats: LinkStats,
+    /// Fault-injection hook: a frozen link refuses pushes and hides its
+    /// contents from the consumer (entries are preserved and reappear on
+    /// thaw). See `duet-verify`'s `FaultKind::CdcFreeze`.
+    frozen: bool,
 }
 
 impl<T> Link<T> {
@@ -112,6 +116,7 @@ impl<T> Link<T> {
         Link {
             transport: Transport::Sync(Fifo::new(capacity, latency)),
             stats: LinkStats::default(),
+            frozen: false,
         }
     }
 
@@ -121,6 +126,7 @@ impl<T> Link<T> {
         Link {
             transport: Transport::Cdc(AsyncFifo::new(capacity, sync_stages, producer, consumer)),
             stats: LinkStats::default(),
+            frozen: false,
         }
     }
 
@@ -130,6 +136,7 @@ impl<T> Link<T> {
         Link {
             transport: Transport::Pipe(VecDeque::new()),
             stats: LinkStats::default(),
+            frozen: false,
         }
     }
 
@@ -159,6 +166,9 @@ impl<T> Link<T> {
     /// Whether a push at `now` would succeed. Pure: never counts a stall —
     /// only a failed [`Link::push`] does (see the determinism note).
     pub fn can_push(&self, now: Time) -> bool {
+        if self.frozen {
+            return false;
+        }
         match &self.transport {
             Transport::Sync(f) => f.can_push(),
             Transport::Cdc(f) => f.can_push(now),
@@ -174,6 +184,10 @@ impl<T> Link<T> {
     /// Returns [`PushError`] — and counts a rejected push — if the link is
     /// full.
     pub fn push(&mut self, now: Time, item: T) -> Result<(), PushError> {
+        if self.frozen {
+            self.stats.rejected_pushes += 1;
+            return Err(PushError);
+        }
         let res = match &mut self.transport {
             Transport::Sync(f) => f.push(now, item),
             Transport::Cdc(f) => f.push(now, item),
@@ -214,6 +228,9 @@ impl<T> Link<T> {
 
     /// Peeks at the front entry if it is visible at `now`.
     pub fn front(&self, now: Time) -> Option<&T> {
+        if self.frozen {
+            return None;
+        }
         match &self.transport {
             Transport::Sync(f) => f.front(now),
             Transport::Cdc(f) => f.front(now),
@@ -223,6 +240,9 @@ impl<T> Link<T> {
 
     /// Pops the front entry if it is visible at `now`.
     pub fn pop(&mut self, now: Time) -> Option<T> {
+        if self.frozen {
+            return None;
+        }
         let popped = match &mut self.transport {
             Transport::Sync(f) => f.pop(now),
             Transport::Cdc(f) => f.pop(now),
@@ -243,6 +263,9 @@ impl<T> Link<T> {
     /// Time at which the front entry becomes consumer-visible, if any entry
     /// is buffered. The event-horizon scheduler merges this across links.
     pub fn front_ready_at(&self) -> Option<Time> {
+        if self.frozen {
+            return None;
+        }
         match &self.transport {
             Transport::Sync(f) => f.front_ready_at(),
             Transport::Cdc(f) => f.front_ready_at(),
@@ -267,6 +290,21 @@ impl<T> Link<T> {
             Transport::Cdc(f) => Box::new(f.iter()),
             Transport::Pipe(q) => Box::new(q.iter().map(|s| &s.item)),
         }
+    }
+
+    /// Freezes or thaws the link (fault injection). While frozen the link
+    /// rejects pushes, hides its contents from the consumer, and reports no
+    /// front-ready time; buffered entries are preserved and become visible
+    /// again — with their original timing — once thawed. Callers that freeze
+    /// links are responsible for scheduling a wake-up at thaw time (the
+    /// system run loop merges fault-window boundaries into its horizon).
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Whether the link is currently frozen by fault injection.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
     }
 
     /// Lifetime traffic counters.
@@ -406,6 +444,24 @@ mod tests {
         assert_eq!(s.occupancy_hist[0], 1);
         assert_eq!(s.occupancy_hist[1], 2);
         assert_eq!(s.occupancy_hist[2], 2);
+    }
+
+    #[test]
+    fn frozen_link_rejects_and_hides_then_recovers() {
+        let mut l = Link::sync(4, ps(0));
+        l.push(ps(0), 1u8).unwrap();
+        l.set_frozen(true);
+        assert!(l.is_frozen());
+        assert!(!l.can_push(ps(1000)));
+        assert!(l.push(ps(1000), 2u8).is_err());
+        assert_eq!(l.stats().rejected_pushes, 1);
+        assert!(l.front(ps(1000)).is_none());
+        assert!(l.pop(ps(1000)).is_none());
+        assert!(l.front_ready_at().is_none());
+        assert_eq!(l.len(), 1, "contents preserved while frozen");
+        l.set_frozen(false);
+        assert_eq!(l.pop(ps(1000)), Some(1), "entry reappears after thaw");
+        assert!(l.can_push(ps(1000)));
     }
 
     #[test]

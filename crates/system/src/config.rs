@@ -6,6 +6,7 @@ use duet_cpu::CoreConfig;
 use duet_mem::priv_cache::CacheConfig;
 use duet_mem::DirConfig;
 use duet_sim::Clock;
+use duet_verify::FaultPlan;
 
 /// Which system architecture to model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,7 +75,7 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Full system configuration. Use the constructors, then adjust fields.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SystemConfig {
     /// Number of processor tiles (`p` of Dolly-PpMm).
     pub processors: usize,
@@ -94,6 +95,9 @@ pub struct SystemConfig {
     pub proxy_mshrs: usize,
     /// Base of the adapter's MMIO region.
     pub mmio_base: u64,
+    /// Deterministic fault-injection schedule (empty by default: inject
+    /// nothing, cost nothing). See [`duet_verify::FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 impl SystemConfig {
@@ -109,6 +113,7 @@ impl SystemConfig {
             kernel_latency_cycles: 2000,
             proxy_mshrs: 2,
             mmio_base: 0x4000_0000,
+            faults: FaultPlan::empty(),
         }
     }
 
@@ -132,6 +137,7 @@ impl SystemConfig {
             kernel_latency_cycles: 2000,
             proxy_mshrs: 8,
             mmio_base: 0x4000_0000,
+            faults: FaultPlan::empty(),
         }
     }
 

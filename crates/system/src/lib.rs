@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! # duet-system
 //!
 //! Full-system assembly of the Duet reproduction: Dolly-PpMm instances
@@ -35,11 +36,17 @@
 //! a.fence();
 //! a.halt();
 //! sys.load_program(0, Arc::new(a.assemble()?), "main");
-//! sys.run_until_halt(Time::from_us(100));
-//! sys.quiesce(Time::from_us(200));
+//! sys.run_until_halt(Time::from_us(100))?;
+//! sys.quiesce(Time::from_us(200))?;
 //! assert_eq!(sys.peek_u64(0x1000), 7);
-//! # Ok::<(), duet_cpu::asm::AsmError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The run entry points return `Result<Time, RunError>`: a deadline that
+//! passes or a runtime-checker violation comes back as a structured
+//! [`RunError`] carrying a per-component stall snapshot, instead of a
+//! panic. Fault injection is configured through
+//! [`SystemConfig::faults`](config::SystemConfig) (see [`duet_verify`]).
 
 pub mod config;
 pub mod metrics;
@@ -51,3 +58,10 @@ mod wiring;
 pub use config::{ConfigError, SystemConfig, Variant};
 pub use stats::RunStats;
 pub use system::System;
+
+// Re-export the `duet-verify` surface a system user needs: fault plans are
+// configured through `SystemConfig::faults`, run errors come back from the
+// run loop.
+pub use duet_verify::{
+    DegradeConfig, FaultKind, FaultPlan, FaultSpec, RunError, StallSnapshot, Violation,
+};

@@ -131,6 +131,16 @@ impl System {
                 report.stats.peak_occupancy as u64,
             );
         }
+        r.set("verify.faults_injected", self.faults_injected);
+        r.set("verify.fences", self.fences);
+        r.set("verify.fenced", u64::from(self.accel_fenced));
+        r.set("verify.mesi_checked", self.mesi_checker.checked());
+        r.set("verify.mesi_violations", self.mesi_checker.violations());
+        r.set("verify.noc_checked", self.noc_checker.checked());
+        r.set("verify.noc_violations", self.noc_checker.violations());
+        r.set("verify.adapter_violations", self.adapter_violations);
+        r.set("verify.violations", self.checker_violations());
+
         let (edges, sim_ps) = crate::metrics::snapshot();
         r.set("process.edges", edges);
         r.set("process.sim_ps", sim_ps);

@@ -18,6 +18,7 @@ use duet_mem::L3Shard;
 use duet_noc::{Mesh, NodeId};
 use duet_sim::{DualClock, IdSlab, Link, Time};
 use duet_trace::{Scoreboard, TraceConfig, TraceSession, Tracer};
+use duet_verify::{MesiChecker, NocOrderChecker, Violation};
 
 use crate::config::{SystemConfig, Variant};
 use crate::run_loop::OsTask;
@@ -93,6 +94,36 @@ pub struct System {
     pub(crate) accel_tracer: Tracer,
     /// Shadow of the accelerator's busy state, for start/done edges.
     pub(crate) accel_busy: bool,
+
+    // ----- fault injection & runtime verification (duet-verify) -----
+    /// Per-spec latch: whether spec `i`'s window is currently applied.
+    pub(crate) fault_active: Vec<bool>,
+    /// Per-spec remaining budget for count-limited faults (`u64::MAX` for
+    /// window-only kinds).
+    pub(crate) fault_budget: Vec<u64>,
+    /// Messages held back by an active `NocReorder` fault:
+    /// `(spec index, eject node, message)`.
+    pub(crate) reorder_stash: Vec<(usize, NodeId, duet_noc::Message<DuetMsg>)>,
+    /// Runtime MESI invariant checker (pure observer, always on).
+    pub(crate) mesi_checker: MesiChecker,
+    /// Runtime NoC point-to-point ordering checker (pure observer).
+    pub(crate) noc_checker: NocOrderChecker,
+    /// Adapter/MMIO invariant breaks recorded in place of panics.
+    pub(crate) adapter_violations: u64,
+    /// First violation not yet surfaced as a
+    /// [`RunError`](duet_verify::RunError).
+    pub(crate) pending_violation: Option<Violation>,
+    /// Fault-window activations observed so far.
+    pub(crate) faults_injected: u64,
+    /// Accelerator fences performed by the degradation watchdog.
+    pub(crate) fences: u64,
+    /// The accelerator has been fenced off: its ticks are suppressed and
+    /// the adapter answers MMIO with error status.
+    pub(crate) accel_fenced: bool,
+    /// Watchdog: last sampled adapter progress signature and the time it
+    /// last changed.
+    pub(crate) watchdog_sig: u64,
+    pub(crate) watchdog_since: Time,
 }
 
 impl System {
@@ -194,12 +225,18 @@ impl System {
 
     /// The Duet Adapter, if the configuration has one.
     pub fn adapter_mut(&mut self) -> &mut DuetAdapter {
-        self.adapter.as_mut().expect("configuration has no eFPGA")
+        match self.adapter.as_mut() {
+            Some(a) => a,
+            None => panic!("configuration has no eFPGA"),
+        }
     }
 
     /// The Duet Adapter (shared).
     pub fn adapter(&self) -> &DuetAdapter {
-        self.adapter.as_ref().expect("configuration has no eFPGA")
+        match self.adapter.as_ref() {
+            Some(a) => a,
+            None => panic!("configuration has no eFPGA"),
+        }
     }
 
     /// The kernel's page table (the OS stub consults it on page faults).
@@ -372,5 +409,117 @@ impl System {
     pub fn map_identity(&mut self, base: u64, len: u64) {
         self.page_table
             .map_range_identity(base, len, PagePerms::rw());
+    }
+
+    // ----- runtime verification (duet-verify) -----
+
+    /// The runtime MESI invariant checker (pure observer; always on).
+    pub fn mesi_checker(&self) -> &MesiChecker {
+        &self.mesi_checker
+    }
+
+    /// The runtime NoC point-to-point ordering checker.
+    pub fn noc_checker(&self) -> &NocOrderChecker {
+        &self.noc_checker
+    }
+
+    /// Total violations recorded by every runtime checker (MESI, NoC
+    /// ordering, adapter/MMIO invariants).
+    pub fn checker_violations(&self) -> u64 {
+        self.mesi_checker.violations() + self.noc_checker.violations() + self.adapter_violations
+    }
+
+    /// Fault-window activations observed so far (one per spec activation,
+    /// not per affected message).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Accelerator fences performed by the degradation watchdog.
+    pub fn fences(&self) -> u64 {
+        self.fences
+    }
+
+    /// Whether the degradation watchdog has fenced the accelerator off.
+    pub fn accel_fenced(&self) -> bool {
+        self.accel_fenced
+    }
+
+    /// Structural coherence sweep: cross-checks every *stable* directory
+    /// entry against the actual cache states at each node. Intended after
+    /// [`quiesce`](System::quiesce) — while transactions are in flight a
+    /// cache and its home legitimately disagree (the sweep skips busy
+    /// directory entries, but an in-flight `PutM`, for example, leaves a
+    /// stable entry naming an owner that already evicted).
+    ///
+    /// Checks, per line: the registered owner holds the line in E/M; no
+    /// other cache holds it in any valid state when an owner is registered;
+    /// every cache holding the line is listed as a sharer (sharer lists are
+    /// allowed to be supersets — silent S evictions).
+    pub fn check_coherence(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let cache_nodes: Vec<NodeId> = (0..self.node_roles.len())
+            .filter(|&n| self.node_roles[n] != NodeRole::ShardOnly)
+            .collect();
+        for shard in &self.shards {
+            for (line, owner, sharers, busy) in shard.dir_entries() {
+                if busy {
+                    continue;
+                }
+                if let Some(o) = owner {
+                    match self.cache_line_state(o, line) {
+                        Some(LineState::E) | Some(LineState::M) => {}
+                        other => out.push(Violation::MesiDirectoryMismatch {
+                            line: line.0,
+                            detail: format!(
+                                "directory names n{o} owner but its cache holds {other:?}"
+                            ),
+                        }),
+                    }
+                }
+                for &n in &cache_nodes {
+                    let Some(st) = self.cache_line_state(n, line) else {
+                        continue;
+                    };
+                    match owner {
+                        Some(o) if n != o => out.push(Violation::MesiDirectoryMismatch {
+                            line: line.0,
+                            detail: format!(
+                                "n{n} holds {st:?} while the directory names n{o} owner"
+                            ),
+                        }),
+                        Some(_) => {}
+                        None => {
+                            if st != LineState::S {
+                                out.push(Violation::MesiDirectoryMismatch {
+                                    line: line.0,
+                                    detail: format!(
+                                        "n{n} holds {st:?} but the directory has no owner"
+                                    ),
+                                });
+                            } else if !sharers.contains(&n) {
+                                out.push(Violation::MesiDirectoryMismatch {
+                                    line: line.0,
+                                    detail: format!(
+                                        "n{n} holds S but is missing from the sharer list"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The MESI state of `line` in the cache at `node`, if the node hosts
+    /// a cache that currently holds it.
+    fn cache_line_state(&self, node: NodeId, line: LineAddr) -> Option<LineState> {
+        match self.node_roles[node] {
+            NodeRole::Core(i) => self.l2s[i].line_state(line),
+            NodeRole::Hub(h) => self.adapter.as_ref()?.hubs[h].proxy_line_state(line),
+            NodeRole::ShardOnly => None,
+        }
     }
 }

@@ -79,6 +79,19 @@ impl System {
         } else {
             Vec::new()
         };
+        // Count-limited faults get their budget up front; window-only
+        // kinds are effectively unbudgeted.
+        let fault_budget = cfg
+            .faults
+            .specs
+            .iter()
+            .map(|s| match s.kind {
+                duet_verify::FaultKind::NocReorder { count, .. }
+                | duet_verify::FaultKind::NocDrop { count, .. }
+                | duet_verify::FaultKind::L3RespDrop { count, .. } => u64::from(count),
+                _ => u64::MAX,
+            })
+            .collect();
         Ok(System {
             dual: DualClock::new(cfg.clock, cfg.fpga_clock()),
             mesh: Mesh::new(mesh_cfg),
@@ -107,6 +120,18 @@ impl System {
             sys_tracer: duet_trace::Tracer::disabled(),
             accel_tracer: duet_trace::Tracer::disabled(),
             accel_busy: false,
+            fault_active: vec![false; cfg.faults.specs.len()],
+            fault_budget,
+            reorder_stash: Vec::new(),
+            mesi_checker: duet_verify::MesiChecker::new(),
+            noc_checker: duet_verify::NocOrderChecker::new(),
+            adapter_violations: 0,
+            pending_violation: None,
+            faults_injected: 0,
+            fences: 0,
+            accel_fenced: false,
+            watchdog_sig: 0,
+            watchdog_since: Time::ZERO,
             cfg,
         })
     }

@@ -122,8 +122,10 @@ fn two_cores_contend_on_an_atomic_counter() {
     let prog = Arc::new(a.assemble().unwrap());
     sys.load_program(0, prog.clone(), "main");
     sys.load_program(1, prog, "main");
-    sys.run_until_halt(Time::from_us(500));
-    sys.quiesce(Time::from_us(600));
+    sys.run_until_halt(Time::from_us(500))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(600))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(sys.peek_u64(0x2000), 100, "atomicity across cores");
 }
 
@@ -153,8 +155,10 @@ fn producer_consumer_through_shared_memory() {
     let prog = Arc::new(a.assemble().unwrap());
     sys.load_program(0, prog.clone(), "producer");
     sys.load_program(1, prog, "consumer");
-    sys.run_until_halt(Time::from_us(500));
-    sys.quiesce(Time::from_us(600));
+    sys.run_until_halt(Time::from_us(500))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(600))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(sys.peek_u64(0x3100), 777, "consumer saw the produced value");
 }
 
@@ -176,8 +180,10 @@ fn core_reaches_accelerator_through_shadow_registers() {
     a.fence();
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(100));
-    sys.quiesce(Time::from_us(200));
+    sys.run_until_halt(Time::from_us(100))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(200))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(sys.peek_u64(0x5000), 42, "round trip through the eFPGA");
 }
 
@@ -207,8 +213,10 @@ fn accelerator_reads_coherent_memory_written_by_core() {
     a.fence();
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(200));
-    sys.quiesce(Time::from_us(300));
+    sys.run_until_halt(Time::from_us(200))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(300))
+        .unwrap_or_else(|e| panic!("{e}"));
     // Sum of bytes: 8 × (2+3) = 40.
     assert_eq!(sys.peek_u64(0x7000), 40, "accelerator saw coherent data");
 }
@@ -216,10 +224,10 @@ fn accelerator_reads_coherent_memory_written_by_core() {
 #[test]
 fn fpsoc_variant_is_slower_than_duet_for_the_same_work() {
     let run = |cfg: SystemConfig| -> Time {
+        let push_mode = cfg.variant == duet_system::Variant::Duet;
         let mut sys = System::new(cfg).expect("valid config");
         sys.set_reg_mode(0, RegMode::FpgaBound);
         sys.set_reg_mode(1, RegMode::CpuBound);
-        let push_mode = cfg.variant == duet_system::Variant::Duet;
         sys.attach_accelerator(Box::new(EchoPlusOne::new(push_mode)));
         let mut a = Asm::new();
         a.label("main");
@@ -234,6 +242,7 @@ fn fpsoc_variant_is_slower_than_duet_for_the_same_work() {
         a.halt();
         sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
         sys.run_until_halt(Time::from_us(1000))
+            .unwrap_or_else(|e| panic!("{e}"))
     };
     let duet = run(SystemConfig::dolly(1, 1, 100.0));
     let fpsoc = run(SystemConfig::fpsoc(1, 1, 100.0));
@@ -270,8 +279,10 @@ fn page_fault_is_serviced_by_the_os_stub() {
     a.fence();
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(500));
-    sys.quiesce(Time::from_us(600));
+    sys.run_until_halt(Time::from_us(500))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(600))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(
         sys.peek_u64(0x7000),
         16,
@@ -299,7 +310,8 @@ fn unmapped_page_kills_the_accelerator() {
     a.sd(regs::T[3], regs::T[2], 0);
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(100));
+    sys.run_until_halt(Time::from_us(100))
+        .unwrap_or_else(|e| panic!("{e}"));
     // Give the fault + kill path time to complete.
     let deadline = sys.now() + Time::from_us(50);
     while sys.now() < deadline {

@@ -98,10 +98,20 @@ pub enum EventKind {
     AccelDone = 18,
     /// Free-form user marker (`a`/`b` caller-defined).
     Marker = 19,
+    /// Fault injected by a `duet-verify` `FaultPlan` (`a` = spec index,
+    /// `b` = fault-kind discriminant as rendered by the plan).
+    FaultInject = 20,
+    /// Adapter watchdog fenced a non-progressing accelerator (`a` = hub
+    /// count deactivated, `b` = busy duration in picoseconds).
+    Fence = 21,
+    /// A runtime checker recorded a protocol violation (`a` = running
+    /// violation count, `b` = checker id: 0 = MESI, 1 = NoC order,
+    /// 2 = adapter invariant).
+    CheckerViolation = 22,
 }
 
 /// Number of event kinds (mask width).
-pub const KIND_COUNT: usize = 20;
+pub const KIND_COUNT: usize = 23;
 
 const KIND_TABLE: [EventKind; KIND_COUNT] = [
     EventKind::EdgeFast,
@@ -124,6 +134,9 @@ const KIND_TABLE: [EventKind; KIND_COUNT] = [
     EventKind::AccelStall,
     EventKind::AccelDone,
     EventKind::Marker,
+    EventKind::FaultInject,
+    EventKind::Fence,
+    EventKind::CheckerViolation,
 ];
 
 impl EventKind {
@@ -160,6 +173,9 @@ impl EventKind {
             EventKind::AccelStall => "accel.stall",
             EventKind::AccelDone => "accel.done",
             EventKind::Marker => "marker",
+            EventKind::FaultInject => "verify.fault",
+            EventKind::Fence => "verify.fence",
+            EventKind::CheckerViolation => "verify.violation",
         }
     }
 }
@@ -190,6 +206,9 @@ pub mod masks {
         | EventKind::AccelStart.bit()
         | EventKind::AccelStall.bit()
         | EventKind::AccelDone.bit();
+    /// Fault injection, fencing, and checker verdicts.
+    pub const VERIFY: u32 =
+        EventKind::FaultInject.bit() | EventKind::Fence.bit() | EventKind::CheckerViolation.bit();
     /// Everything.
     pub const ALL: u32 = (1u32 << super::KIND_COUNT) - 1;
 }

@@ -66,6 +66,12 @@ pub struct Scoreboard {
     /// Injections never matched by an ejection (still in flight at the end
     /// of the run, or whose endpoints fell out of the ring).
     pub unmatched_injects: u64,
+    /// Faults injected by a `duet-verify` `FaultPlan`.
+    pub faults_injected: u64,
+    /// Accelerator fences performed by the adapter watchdog.
+    pub fences: u64,
+    /// Protocol violations recorded by the runtime checkers.
+    pub checker_violations: u64,
 }
 
 impl Scoreboard {
@@ -91,6 +97,9 @@ impl Scoreboard {
                     *sb.mesi_transitions.entry((old, new)).or_insert(0) += 1;
                     *sb.mesi_lines.entry(ev.a).or_insert(0) += 1;
                 }
+                Some(EventKind::FaultInject) => sb.faults_injected += 1,
+                Some(EventKind::Fence) => sb.fences += 1,
+                Some(EventKind::CheckerViolation) => sb.checker_violations += 1,
                 _ => {}
             }
         }
@@ -143,6 +152,13 @@ impl Scoreboard {
                 self.mesi_lines.len(),
                 hottest.0,
                 hottest.1
+            ));
+        }
+        if self.faults_injected + self.fences + self.checker_violations > 0 {
+            out.push_str("== Verification ==\n");
+            out.push_str(&format!(
+                "faults_injected={} fences={} checker_violations={}\n",
+                self.faults_injected, self.fences, self.checker_violations
             ));
         }
         out

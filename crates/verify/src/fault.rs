@@ -1,0 +1,455 @@
+//! Deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a seeded schedule of [`FaultSpec`]s. Every fault is a
+//! *pure function of simulated time*: a spec is active exactly when
+//! `from <= now < until`, and budgeted faults (drop/reorder counts) consume
+//! their budget in deterministic delivery order. Re-running the same plan on
+//! the same workload is therefore byte-identical, with or without edge
+//! skipping — the run loop merges every window boundary into its event
+//! horizon so both schedulers observe fault activations at the same edges.
+
+use std::fmt;
+
+use duet_noc::NodeId;
+use duet_sim::{SimRng, Time};
+
+/// One kind of injectable fault. Node/hub indices refer to the mesh node or
+/// adapter hub they target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The soft accelerator stops making progress: its `tick` is suppressed
+    /// while the window is active (models a wedged kernel / combinational
+    /// lock-up). The fabric-side FIFOs keep their contents.
+    AccelHang,
+    /// Freeze the CDC `AsyncFifo` pair between a memory hub and the fabric:
+    /// pushes are rejected and pops return nothing while active (models a
+    /// stuck synchronizer / clock-domain brown-out).
+    CdcFreeze {
+        /// Adapter hub index whose fabric request/response FIFOs freeze.
+        hub: usize,
+    },
+    /// Stall NoC injection at one node: messages queue in the injection pipe
+    /// but none enter the mesh while the window is active (delays flits).
+    NocDelay {
+        /// Mesh node whose local injection port stalls.
+        node: NodeId,
+    },
+    /// Swap adjacent deliveries at one node: the next `count` ejections are
+    /// each held back and delivered *after* the following ejection at the
+    /// same node, breaking the mesh's point-to-point ordering guarantee.
+    NocReorder {
+        /// Mesh node whose ejections are reordered.
+        node: NodeId,
+        /// Number of swaps to perform within the window.
+        count: u32,
+    },
+    /// Silently drop the next `count` messages ejected at one node
+    /// (duplicate-suppression gone wrong / a lossy link).
+    NocDrop {
+        /// Mesh node whose ejections are dropped.
+        node: NodeId,
+        /// Number of messages to drop within the window.
+        count: u32,
+    },
+    /// Stall the outgoing response port of the L3 shard at `node`: prepared
+    /// MESI responses sit in the shard's output pipe until the window ends
+    /// (delays directory responses).
+    L3RespStall {
+        /// Mesh node hosting the stalled shard.
+        node: NodeId,
+    },
+    /// Drop the next `count` outgoing messages of the L3 shard at `node`
+    /// (a lost directory response — fatal for a blocking protocol).
+    L3RespDrop {
+        /// Mesh node hosting the lossy shard.
+        node: NodeId,
+        /// Number of shard responses to drop within the window.
+        count: u32,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label (used in plan files, traces, and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::AccelHang => "accel_hang",
+            FaultKind::CdcFreeze { .. } => "cdc_freeze",
+            FaultKind::NocDelay { .. } => "noc_delay",
+            FaultKind::NocReorder { .. } => "noc_reorder",
+            FaultKind::NocDrop { .. } => "noc_drop",
+            FaultKind::L3RespStall { .. } => "l3_stall",
+            FaultKind::L3RespDrop { .. } => "l3_drop",
+        }
+    }
+}
+
+/// A fault plus the simulated-time window in which it is active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// First instant (inclusive) at which the fault is active.
+    pub from: Time,
+    /// First instant at which the fault is no longer active
+    /// ([`Time::MAX`] for an open-ended fault).
+    pub until: Time,
+}
+
+impl FaultSpec {
+    /// An open-ended fault starting at `from`.
+    pub fn starting(kind: FaultKind, from: Time) -> Self {
+        FaultSpec {
+            kind,
+            from,
+            until: Time::MAX,
+        }
+    }
+
+    /// Whether the fault is active at `now`.
+    pub fn active_at(&self, now: Time) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// Graceful-degradation policy for the adapter-level watchdog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// How long the accelerator may stay busy without fabric-visible
+    /// progress before the adapter fences it.
+    pub fence_after: Time,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            fence_after: Time::from_us(50),
+        }
+    }
+}
+
+/// A deterministic, seeded fault schedule carried in `SystemConfig`.
+///
+/// The default (empty) plan injects nothing and costs nothing on the hot
+/// path. `seed` records how a randomized plan was generated so CI soak
+/// failures can be replayed exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed used to generate the plan (0 for hand-written plans).
+    pub seed: u64,
+    /// The scheduled faults.
+    pub specs: Vec<FaultSpec>,
+    /// When set, the adapter watchdog fences a non-progressing accelerator
+    /// instead of letting the run deadlock.
+    pub degrade: Option<DegradeConfig>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules no faults and no degradation policy.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty() && self.degrade.is_none()
+    }
+
+    /// Adds a spec (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Enables graceful degradation (builder style).
+    pub fn with_degrade(mut self, degrade: DegradeConfig) -> Self {
+        self.degrade = Some(degrade);
+        self
+    }
+
+    /// The earliest window boundary (a `from` or `until`) strictly after
+    /// `now`, if any. The run loop merges this into its event horizon so
+    /// edge skipping never jumps across a fault (de)activation.
+    pub fn next_boundary(&self, now: Time) -> Option<Time> {
+        let mut best: Option<Time> = None;
+        for s in &self.specs {
+            for t in [s.from, s.until] {
+                if t > now && t < Time::MAX && best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+
+    /// Generates a small randomized plan for soak testing. `nodes` is the
+    /// mesh size, `hubs` the adapter hub count (0 for processor-only
+    /// systems), and `horizon` the time range in which windows are placed.
+    /// The same `(seed, nodes, hubs, horizon)` always yields the same plan.
+    pub fn randomized(seed: u64, nodes: usize, hubs: usize, horizon: Time) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x6475_6574_2d76_6679);
+        let span = horizon.as_ps().max(2);
+        let window = |rng: &mut SimRng| {
+            let a = rng.gen_range(0..span);
+            let b = rng.gen_range(0..span);
+            (Time::from_ps(a.min(b)), Time::from_ps(a.max(b) + 1))
+        };
+        let nspecs = rng.gen_range(1..4) as usize;
+        let mut specs = Vec::with_capacity(nspecs);
+        for _ in 0..nspecs {
+            let node = rng.gen_range(0..nodes.max(1) as u64) as NodeId;
+            let count = rng.gen_range(1..4) as u32;
+            // Recoverable-by-construction kinds only: drops wedge a blocking
+            // protocol forever, which the deterministic matrix covers; the
+            // soak wants runs that finish so it can diff fingerprints.
+            let kind = match rng.gen_range(0..4) {
+                0 if hubs > 0 => FaultKind::CdcFreeze {
+                    hub: rng.gen_range(0..hubs as u64) as usize,
+                },
+                1 => FaultKind::NocDelay { node },
+                2 => FaultKind::L3RespStall { node },
+                _ => FaultKind::NocReorder { node, count },
+            };
+            let (from, until) = window(&mut rng);
+            specs.push(FaultSpec { kind, from, until });
+        }
+        FaultPlan {
+            seed,
+            specs,
+            degrade: None,
+        }
+    }
+
+    /// Parses the plan-file format used by the `--faults` flag:
+    ///
+    /// ```text
+    /// # comment
+    /// seed = 42
+    /// degrade fence_after_us=50
+    /// fault accel_hang from_us=10
+    /// fault cdc_freeze hub=0 from_us=5 until_us=20
+    /// fault noc_drop node=2 count=1 from_us=0
+    /// ```
+    ///
+    /// Times are microseconds; a missing `until_us` means open-ended.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::empty();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| PlanParseError {
+                line: lineno + 1,
+                msg: msg.to_string(),
+            };
+            if let Some(rest) = line.strip_prefix("seed") {
+                let v = rest
+                    .trim_start()
+                    .strip_prefix('=')
+                    .ok_or_else(|| err("expected `seed = <u64>`"))?;
+                plan.seed = v.trim().parse().map_err(|_| err("seed is not a number"))?;
+            } else if let Some(rest) = line.strip_prefix("degrade") {
+                let kv = parse_kv(rest, lineno + 1)?;
+                let us = lookup(&kv, "fence_after_us")
+                    .ok_or_else(|| err("degrade needs fence_after_us=<u64>"))?;
+                plan.degrade = Some(DegradeConfig {
+                    fence_after: Time::from_us(us),
+                });
+            } else if let Some(rest) = line.strip_prefix("fault") {
+                let mut words = rest.trim().splitn(2, char::is_whitespace);
+                let name = words.next().unwrap_or("");
+                let kv = parse_kv(words.next().unwrap_or(""), lineno + 1)?;
+                let node = || lookup(&kv, "node").map(|v| v as NodeId);
+                let count = lookup(&kv, "count").unwrap_or(1) as u32;
+                let kind = match name {
+                    "accel_hang" => FaultKind::AccelHang,
+                    "cdc_freeze" => FaultKind::CdcFreeze {
+                        hub: lookup(&kv, "hub").unwrap_or(0) as usize,
+                    },
+                    "noc_delay" => FaultKind::NocDelay {
+                        node: node().ok_or_else(|| err("noc_delay needs node=<n>"))?,
+                    },
+                    "noc_reorder" => FaultKind::NocReorder {
+                        node: node().ok_or_else(|| err("noc_reorder needs node=<n>"))?,
+                        count,
+                    },
+                    "noc_drop" => FaultKind::NocDrop {
+                        node: node().ok_or_else(|| err("noc_drop needs node=<n>"))?,
+                        count,
+                    },
+                    "l3_stall" => FaultKind::L3RespStall {
+                        node: node().ok_or_else(|| err("l3_stall needs node=<n>"))?,
+                    },
+                    "l3_drop" => FaultKind::L3RespDrop {
+                        node: node().ok_or_else(|| err("l3_drop needs node=<n>"))?,
+                        count,
+                    },
+                    other => {
+                        return Err(err(&format!("unknown fault kind `{other}`")));
+                    }
+                };
+                let from = Time::from_us(
+                    lookup(&kv, "from_us").ok_or_else(|| err("fault needs from_us=<u64>"))?,
+                );
+                let until = match lookup(&kv, "until_us") {
+                    Some(us) => Time::from_us(us),
+                    None => Time::MAX,
+                };
+                plan.specs.push(FaultSpec { kind, from, until });
+            } else {
+                return Err(err("expected `seed`, `degrade`, or `fault`"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back into the [`parse`](FaultPlan::parse) format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("seed = {}\n", self.seed));
+        if let Some(d) = &self.degrade {
+            out.push_str(&format!(
+                "degrade fence_after_us={}\n",
+                d.fence_after.as_ps() / 1_000_000
+            ));
+        }
+        for s in &self.specs {
+            out.push_str(&format!("fault {}", s.kind.label()));
+            match s.kind {
+                FaultKind::AccelHang => {}
+                FaultKind::CdcFreeze { hub } => out.push_str(&format!(" hub={hub}")),
+                FaultKind::NocDelay { node } | FaultKind::L3RespStall { node } => {
+                    out.push_str(&format!(" node={node}"));
+                }
+                FaultKind::NocReorder { node, count }
+                | FaultKind::NocDrop { node, count }
+                | FaultKind::L3RespDrop { node, count } => {
+                    out.push_str(&format!(" node={node} count={count}"));
+                }
+            }
+            out.push_str(&format!(" from_us={}", s.from.as_ps() / 1_000_000));
+            if s.until < Time::MAX {
+                out.push_str(&format!(" until_us={}", s.until.as_ps() / 1_000_000));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn parse_kv(rest: &str, line: usize) -> Result<Vec<(String, u64)>, PlanParseError> {
+    let mut kv = Vec::new();
+    for word in rest.split_whitespace() {
+        let (k, v) = word.split_once('=').ok_or_else(|| PlanParseError {
+            line,
+            msg: format!("expected key=value, got `{word}`"),
+        })?;
+        let v: u64 = v.parse().map_err(|_| PlanParseError {
+            line,
+            msg: format!("`{k}` is not a number"),
+        })?;
+        kv.push((k.to_string(), v));
+    }
+    Ok(kv)
+}
+
+fn lookup(kv: &[(String, u64)], key: &str) -> Option<u64> {
+    kv.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+/// A syntax error in a fault-plan file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_boundary_free() {
+        let p = FaultPlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.next_boundary(Time::ZERO), None);
+    }
+
+    #[test]
+    fn windows_and_boundaries() {
+        let p = FaultPlan::empty().with(FaultSpec {
+            kind: FaultKind::AccelHang,
+            from: Time::from_us(10),
+            until: Time::from_us(20),
+        });
+        assert!(!p.specs[0].active_at(Time::from_us(9)));
+        assert!(p.specs[0].active_at(Time::from_us(10)));
+        assert!(p.specs[0].active_at(Time::from_us(19)));
+        assert!(!p.specs[0].active_at(Time::from_us(20)));
+        assert_eq!(p.next_boundary(Time::ZERO), Some(Time::from_us(10)));
+        assert_eq!(p.next_boundary(Time::from_us(10)), Some(Time::from_us(20)));
+        assert_eq!(p.next_boundary(Time::from_us(20)), None);
+    }
+
+    #[test]
+    fn parse_roundtrips_through_render() {
+        let text = "\
+seed = 7
+degrade fence_after_us=50
+fault accel_hang from_us=10
+fault cdc_freeze hub=1 from_us=5 until_us=20
+fault noc_drop node=2 count=3 from_us=0
+fault l3_stall node=4 from_us=1 until_us=9
+";
+        let p = FaultPlan::parse(text).expect("plan parses");
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.specs.len(), 4);
+        assert_eq!(p.specs[0].kind, FaultKind::AccelHang);
+        assert_eq!(p.specs[0].until, Time::MAX);
+        assert_eq!(p.specs[1].kind, FaultKind::CdcFreeze { hub: 1 });
+        assert_eq!(p.specs[2].kind, FaultKind::NocDrop { node: 2, count: 3 });
+        let p2 = FaultPlan::parse(&p.render()).expect("rendered plan parses");
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(FaultPlan::parse("bogus line").is_err());
+        assert!(FaultPlan::parse("fault unknown_kind from_us=0").is_err());
+        assert!(FaultPlan::parse("fault noc_drop from_us=0").is_err());
+        assert!(FaultPlan::parse("fault accel_hang").is_err());
+        assert!(FaultPlan::parse("seed = banana").is_err());
+        let err = FaultPlan::parse("seed = 1\nnope").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let p = FaultPlan::parse("# hi\n\n  seed = 3  # trailing\n").expect("parses");
+        assert_eq!(p.seed, 3);
+        assert!(p.specs.is_empty());
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let a = FaultPlan::randomized(9, 9, 2, Time::from_us(100));
+        let b = FaultPlan::randomized(9, 9, 2, Time::from_us(100));
+        let c = FaultPlan::randomized(10, 9, 2, Time::from_us(100));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.specs.is_empty());
+        for s in &a.specs {
+            assert!(s.from < s.until);
+        }
+    }
+}

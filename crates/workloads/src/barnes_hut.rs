@@ -667,8 +667,11 @@ pub fn run(variant: BenchVariant, p: usize, n: usize, seed: u64) -> AppResult {
             sys.warm_shared(layout.nodes, (nodes.len() as u64) * 64, c);
         }
     }
-    let runtime = sys.run_until_halt(Time::from_us(120_000));
-    sys.quiesce(Time::from_us(121_000));
+    let runtime = sys
+        .run_until_halt(Time::from_us(120_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(121_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let correct = (0..n).all(|i| {
         (0..3).all(|d| {
             let got = sys.peek_f64(layout.out + (i as u64) * 32 + (d as u64) * 8);

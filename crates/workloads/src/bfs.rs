@@ -448,8 +448,11 @@ pub fn run(variant: BenchVariant, p: usize, v: u32, avg_deg: u32, seed: u64) -> 
             sys.warm_shared(layout.dests, g.dests.len() as u64 * 4, c);
         }
     }
-    let runtime = sys.run_until_halt(Time::from_us(30_000));
-    sys.quiesce(Time::from_us(31_000));
+    let runtime = sys
+        .run_until_halt(Time::from_us(30_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(31_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let correct = (0..v as u64).all(|u| sys.peek_u32(layout.dist + u * 4) == expected[u as usize]);
     AppResult {
         name: format!("bfs/{p}"),

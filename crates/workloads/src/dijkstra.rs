@@ -642,8 +642,11 @@ pub fn run(variant: BenchVariant, v: u32, avg_deg: u32, seed: u64) -> AppResult 
         sys.warm_shared(layout.dist, u64::from(v) * 4, 0);
         sys.warm_shared(layout.visited, u64::from(v), 0);
     }
-    let runtime = sys.run_until_halt(Time::from_us(60_000));
-    sys.quiesce(Time::from_us(61_000));
+    let runtime = sys
+        .run_until_halt(Time::from_us(60_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(61_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let correct = (0..v as u64).all(|u| sys.peek_u32(layout.dist + u * 4) == expected[u as usize]);
     AppResult {
         name: "dijkstra".into(),

@@ -197,8 +197,10 @@ mod tests {
         for c in 0..cores {
             sys.load_program(c, prog.clone(), "main");
         }
-        sys.run_until_halt(Time::from_us(20_000));
-        sys.quiesce(Time::from_us(21_000));
+        sys.run_until_halt(Time::from_us(20_000))
+            .unwrap_or_else(|e| panic!("{e}"));
+        sys.quiesce(Time::from_us(21_000))
+            .unwrap_or_else(|e| panic!("{e}"));
         sys.peek_u64(0x8100)
     }
 
@@ -264,8 +266,10 @@ mod tests {
         for c in 0..cores as usize {
             sys.load_program(c, prog.clone(), "main");
         }
-        sys.run_until_halt(Time::from_us(20_000));
-        sys.quiesce(Time::from_us(21_000));
+        sys.run_until_halt(Time::from_us(20_000))
+            .unwrap_or_else(|e| panic!("{e}"));
+        sys.quiesce(Time::from_us(21_000))
+            .unwrap_or_else(|e| panic!("{e}"));
         let expect = (1..=cores).sum::<u64>();
         for c in 0..cores {
             assert_eq!(

@@ -588,8 +588,11 @@ pub fn run(variant: BenchVariant, p: usize, width: u32, layers: u32, seed: u64) 
             sys.warm_shared(layout.gates, u64::from(c.total_gates()) * 16, core);
         }
     }
-    let runtime = sys.run_until_halt(Time::from_us(60_000));
-    sys.quiesce(Time::from_us(61_000));
+    let runtime = sys
+        .run_until_halt(Time::from_us(60_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(61_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let correct = (0..c.total_gates() as u64)
         .all(|g| sys.peek_u32(layout.out + g * 4) == expected[g as usize]);
     AppResult {

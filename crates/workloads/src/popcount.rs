@@ -243,8 +243,11 @@ pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
         sys.warm_shared(layout.vectors, n * VEC_BYTES, 0);
         sys.warm_shared(layout.lut, 256, 0);
     }
-    let runtime = sys.run_until_halt(Time::from_us(200_000));
-    sys.quiesce(Time::from_us(400_000));
+    let runtime = sys
+        .run_until_halt(Time::from_us(200_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(400_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     AppResult {
         name: "popcount".into(),
         variant,

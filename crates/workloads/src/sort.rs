@@ -467,8 +467,11 @@ pub fn run(variant: BenchVariant, slice: u64, n: u64, seed: u64) -> AppResult {
     if variant == BenchVariant::ProcOnly {
         sys.warm_shared(layout.input, n * 4, 0);
     }
-    let runtime = sys.run_until_halt(Time::from_us(400_000));
-    sys.quiesce(Time::from_us(500_000));
+    let runtime = sys
+        .run_until_halt(Time::from_us(400_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(500_000))
+        .unwrap_or_else(|e| panic!("{e}"));
 
     let correct = (0..n).all(|i| {
         let got = sys.peek_u32(out_region + i * 4);

@@ -395,8 +395,8 @@ pub struct LatencyPoint {
 /// attached and registers set up.
 fn build_system(mechanism: Mechanism, p: usize, fpga_mhz: f64) -> (System, Rc<RefCell<SpEvents>>) {
     let cfg = mechanism.system_config(p, fpga_mhz);
-    let mut sys = System::new(cfg).expect("valid config");
     let shadow = mechanism.uses_shadow_regs() && cfg.variant == Variant::Duet;
+    let mut sys = System::new(cfg).expect("valid config");
     if shadow {
         sys.set_reg_mode(sp_reg::CMD, RegMode::FpgaBound);
         sys.set_reg_mode(sp_reg::RESULT, RegMode::CpuBound);
@@ -492,8 +492,10 @@ pub fn measure_latency_traced(
             a.fence();
             a.halt();
             sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-            sys.run_until_halt(deadline);
-            sys.quiesce(deadline + Time::from_us(100));
+            sys.run_until_halt(deadline)
+                .unwrap_or_else(|e| panic!("{e}"));
+            sys.quiesce(deadline + Time::from_us(100))
+                .unwrap_or_else(|e| panic!("{e}"));
             let cycles = sys.peek_u64(t1_addr as u64) - sys.peek_u64(t0_addr as u64);
             let total = clock.period().mul(cycles);
             // Register accesses have no memory-transaction breakdown; the
@@ -540,7 +542,8 @@ pub fn measure_latency_traced(
             a.ld(regs::T[4], regs::T[2], 0); // blocks until the pull lands
             a.halt();
             sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-            sys.run_until_halt(deadline);
+            sys.run_until_halt(deadline)
+                .unwrap_or_else(|e| panic!("{e}"));
             let ev = events.borrow();
             let (done, bd) = ev.pull_done.expect("pull completed");
             let issue = ev.pull_issue.expect("pull issued");
@@ -582,9 +585,11 @@ pub fn measure_latency_traced(
             a.fence();
             a.halt();
             sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-            sys.run_until_halt(deadline);
+            sys.run_until_halt(deadline)
+                .unwrap_or_else(|e| panic!("{e}"));
             let breakdown = sys.core(0).last_breakdown();
-            sys.quiesce(deadline + Time::from_us(100));
+            sys.quiesce(deadline + Time::from_us(100))
+                .unwrap_or_else(|e| panic!("{e}"));
             let cycles = sys.peek_u64(t1_addr as u64) - sys.peek_u64(t0_addr as u64);
             let total = clock.period().mul(cycles);
             let mut bd = breakdown;
@@ -670,8 +675,10 @@ pub fn measure_bandwidth(mechanism: Mechanism, fpga_mhz: f64, nwords: u64) -> Ba
             a.fence();
             a.halt();
             sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-            sys.run_until_halt(deadline);
-            sys.quiesce(deadline + Time::from_us(100));
+            sys.run_until_halt(deadline)
+                .unwrap_or_else(|e| panic!("{e}"));
+            sys.quiesce(deadline + Time::from_us(100))
+                .unwrap_or_else(|e| panic!("{e}"));
             let cycles = sys.peek_u64(t1_addr) - sys.peek_u64(t0_addr);
             BandwidthPoint {
                 mechanism,
@@ -729,8 +736,10 @@ pub fn measure_bandwidth(mechanism: Mechanism, fpga_mhz: f64, nwords: u64) -> Ba
             a.fence();
             a.halt();
             sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-            sys.run_until_halt(deadline);
-            sys.quiesce(deadline + Time::from_us(100));
+            sys.run_until_halt(deadline)
+                .unwrap_or_else(|e| panic!("{e}"));
+            sys.quiesce(deadline + Time::from_us(100))
+                .unwrap_or_else(|e| panic!("{e}"));
             let ev = events.borrow();
             let bytes = nwords * 8;
             let elapsed = match mechanism {
@@ -801,7 +810,9 @@ pub fn measure_contention(shadow: bool, p: usize, pairs_per_cpu: u64) -> Content
     for i in 0..p {
         sys.load_program(i, prog.clone(), "main");
     }
-    let t = sys.run_until_halt(Time::from_us(200_000));
+    let t = sys
+        .run_until_halt(Time::from_us(200_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let total_bytes = (p as u64) * pairs_per_cpu * 8 * 2;
     let per_proc = total_bytes as f64 / p as f64 / (t.as_ps() as f64 * 1e-12) / 1e6;
     let _ = clock;

@@ -302,8 +302,11 @@ pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
     if variant == BenchVariant::ProcOnly {
         sys.warm_shared(layout.input, n * 8, 0);
     }
-    let runtime = sys.run_until_halt(Time::from_us(200_000));
-    sys.quiesce(Time::from_us(400_000));
+    let runtime = sys
+        .run_until_halt(Time::from_us(200_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(400_000))
+        .unwrap_or_else(|e| panic!("{e}"));
 
     let tol = match variant {
         BenchVariant::ProcOnly => 1e-6,

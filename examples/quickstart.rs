@@ -20,7 +20,6 @@ fn main() {
     // 1. A Dolly-P1M1 instance: one processor tile, one C-tile hosting the
     //    Control Hub and a Memory Hub, eFPGA clocked at 189 MHz.
     let cfg = SystemConfig::dolly(1, 1, 189.0);
-    let mut sys = System::new(cfg).expect("valid config");
     println!(
         "system: {} processor(s), {} memory hub(s), {}x{} mesh, eFPGA {:.0} MHz",
         cfg.processors,
@@ -29,6 +28,7 @@ fn main() {
         cfg.mesh_dims().1,
         cfg.fpga_mhz
     );
+    let mut sys = System::new(cfg).expect("valid config");
 
     // 2. The accelerator design and its fabric implementation report
     //    (what the PRGA/VTR flow would produce).
@@ -76,8 +76,11 @@ fn main() {
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
 
     // 6. Run and inspect.
-    let t = sys.run_until_halt(Time::from_us(1_000));
-    sys.quiesce(Time::from_us(2_000));
+    let t = sys
+        .run_until_halt(Time::from_us(1_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(2_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let got = sys.peek_u64(0x2_0000);
     println!("popcount(512-bit vector) = {got} (expected {expected}) in {t}");
     assert_eq!(got, u64::from(expected));

@@ -74,8 +74,12 @@ fn assert_differential(
     let run = |skip: bool| {
         let mut sys = build();
         sys.set_edge_skipping(skip);
-        let halt = sys.run_until_halt(halt_deadline);
-        let quiesced = sys.quiesce(quiesce_deadline);
+        let halt = sys
+            .run_until_halt(halt_deadline)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let quiesced = sys
+            .quiesce(quiesce_deadline)
+            .unwrap_or_else(|e| panic!("{e}"));
         fingerprint(&sys, halt, quiesced, mem)
     };
     let baseline = run(false);
@@ -214,8 +218,10 @@ fn differential_duet_accelerator_popcount() {
     );
     // Sanity: the accelerated result is actually correct, not just equal.
     let mut sys = popcount_system(SystemConfig::dolly(1, 1, 189.0));
-    sys.run_until_halt(Time::from_us(1_000));
-    sys.quiesce(Time::from_us(2_000));
+    sys.run_until_halt(Time::from_us(1_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(2_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let expected: u32 = (0..64u32).map(|i| ((i * 37 + 11) as u8).count_ones()).sum();
     assert_eq!(sys.peek_u64(0x2_0000), u64::from(expected));
 }

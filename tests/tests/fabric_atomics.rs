@@ -84,13 +84,15 @@ fn fabric_and_processors_share_an_atomic_counter() {
     for c in 0..cores {
         sys.load_program(c, prog.clone(), "main");
     }
-    sys.run_until_halt(Time::from_us(5_000));
+    sys.run_until_halt(Time::from_us(5_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     // Let the accelerator finish its remaining increments.
     let deadline = sys.now() + Time::from_us(200);
     while sys.now() < deadline {
         sys.step_edge();
     }
-    sys.quiesce(Time::from_us(10_000));
+    sys.quiesce(Time::from_us(10_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let expected = u64::from(accel_incs) + (core_incs as u64) * cores as u64;
     assert_eq!(
         sys.peek_u64(addr),
@@ -115,12 +117,14 @@ fn fabric_amo_returns_strictly_increasing_old_values_without_contention() {
     a.label("main");
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(10));
+    sys.run_until_halt(Time::from_us(10))
+        .unwrap_or_else(|e| panic!("{e}"));
     let deadline = sys.now() + Time::from_us(100);
     while sys.now() < deadline {
         sys.step_edge();
     }
-    sys.quiesce(Time::from_us(1_000));
+    sys.quiesce(Time::from_us(1_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(sys.peek_u64(addr), 10);
 }
 
@@ -143,7 +147,8 @@ fn amo_feature_switch_blocks_fabric_atomics_system_wide() {
     a.label("main");
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(10));
+    sys.run_until_halt(Time::from_us(10))
+        .unwrap_or_else(|e| panic!("{e}"));
     let deadline = sys.now() + Time::from_us(100);
     while sys.now() < deadline {
         sys.step_edge();

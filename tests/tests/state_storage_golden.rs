@@ -156,8 +156,12 @@ fn fpsoc_system() -> System {
 fn run_fingerprint(build: impl Fn() -> System, skip: bool, mem: &[(u64, usize)]) -> String {
     let mut sys = build();
     sys.set_edge_skipping(skip);
-    let halt = sys.run_until_halt(Time::from_us(10_000));
-    let quiesced = sys.quiesce(Time::from_us(11_000));
+    let halt = sys
+        .run_until_halt(Time::from_us(10_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    let quiesced = sys
+        .quiesce(Time::from_us(11_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     fingerprint(&sys, halt, quiesced, mem)
 }
 

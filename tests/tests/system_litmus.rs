@@ -63,8 +63,10 @@ fn message_passing_litmus_holds_repeatedly() {
     let prog = Arc::new(a.assemble().unwrap());
     sys.load_program(0, prog.clone(), "producer");
     sys.load_program(1, prog, "consumer");
-    sys.run_until_halt(Time::from_us(10_000));
-    sys.quiesce(Time::from_us(11_000));
+    sys.run_until_halt(Time::from_us(10_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(11_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(sys.peek_u64(0x3000), 0, "consumer saw flag before data");
 }
 
@@ -121,7 +123,8 @@ fn faulty_accelerator_is_contained() {
     a.fence();
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(1_000));
+    sys.run_until_halt(Time::from_us(1_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     // Exception latched, hub deactivated, system alive.
     let hub = &sys.adapter().hubs[0];
     assert_ne!(hub.error_code(), 0, "exception must be latched");
@@ -160,8 +163,10 @@ fn deactivated_interface_never_wedges_a_processor() {
     a.fence();
     a.halt();
     sys.load_program(0, Arc::new(a.assemble().unwrap()), "main");
-    sys.run_until_halt(Time::from_us(500));
-    sys.quiesce(Time::from_us(600));
+    sys.run_until_halt(Time::from_us(500))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(600))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(
         sys.peek_u64(0x6000),
         duet_core::BOGUS,
@@ -189,7 +194,9 @@ fn four_core_fetch_add_is_exact() {
     for c in 0..4 {
         sys.load_program(c, prog.clone(), "main");
     }
-    sys.run_until_halt(Time::from_us(5_000));
-    sys.quiesce(Time::from_us(6_000));
+    sys.run_until_halt(Time::from_us(5_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(6_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(sys.peek_u64(0x7000), 100);
 }

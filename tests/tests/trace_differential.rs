@@ -114,8 +114,12 @@ fn assert_trace_invisible(build: impl Fn() -> System, deadline: Time, mem: &[(u6
             sys.enable_tracing(&TraceConfig::default());
         }
         sys.set_edge_skipping(skip);
-        let halt = sys.run_until_halt(deadline);
-        let quiesced = sys.quiesce(deadline + Time::from_us(1_000));
+        let halt = sys
+            .run_until_halt(deadline)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let quiesced = sys
+            .quiesce(deadline + Time::from_us(1_000))
+            .unwrap_or_else(|e| panic!("{e}"));
         fingerprint(&sys, halt, quiesced, mem)
     };
     let baseline = run(false, false);
@@ -149,8 +153,10 @@ fn differential_trace_onoff_skip_onoff_popcount_accel() {
 fn chrome_json_golden_tiny_two_node_run() {
     let mut sys = two_core_system();
     sys.enable_tracing(&TraceConfig::default());
-    sys.run_until_halt(Time::from_us(5_000));
-    sys.quiesce(Time::from_us(6_000));
+    sys.run_until_halt(Time::from_us(5_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(6_000))
+        .unwrap_or_else(|e| panic!("{e}"));
 
     let json = sys.trace_chrome_json().expect("tracing enabled");
     validate_json(&json).expect("chrome trace must be valid JSON");
@@ -204,8 +210,10 @@ fn chrome_json_golden_tiny_two_node_run() {
 fn mask_restricts_captured_kinds() {
     let mut sys = two_core_system();
     sys.enable_tracing(&TraceConfig::default().with_mask(masks::NOC));
-    sys.run_until_halt(Time::from_us(5_000));
-    sys.quiesce(Time::from_us(6_000));
+    sys.run_until_halt(Time::from_us(5_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    sys.quiesce(Time::from_us(6_000))
+        .unwrap_or_else(|e| panic!("{e}"));
     let events = sys.trace_session().expect("tracing enabled").events();
     assert!(!events.is_empty());
     assert!(events.iter().all(|e| {
