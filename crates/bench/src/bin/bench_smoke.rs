@@ -1,7 +1,7 @@
 //! CI bench smoke: a fast release-mode throughput check that tracks the
 //! simulator's perf trajectory from PR 3 onward.
 //!
-//! Two scenarios, both small enough for a CI minute:
+//! Scenarios, all small enough for a CI minute:
 //!
 //! 1. **fig9** — the Fig. 9 latency-sweep harness is spawned as a
 //!    subprocess (it sits next to this binary in `target/release/`) and
@@ -11,11 +11,19 @@
 //!    micro-benches, run in-process: four cores stream stores over a
 //!    shared 64 KB region so the directory/MSHR/backing-store hot paths
 //!    dominate wall time.
+//! 3. **noc_hotspot_8x8 / noc_hotspot_16x16** — intra-run scaling: the
+//!    `mesh_8x8` / `mesh_16x16` presets with every core hammering a
+//!    shared hotspot region, swept over 1/2/4/8 *simulation* threads
+//!    (`SystemConfig::sim_threads`). These cells run with one sweep
+//!    worker each — sweep workers multiply with intra-run threads, so
+//!    the smoke run keeps the product equal to the sim-thread count.
 //!
-//! Results land in `BENCH_pr3.json` (repo root by default, or the path
-//! given as the first non-flag argument) as edges/sec per scenario. The
-//! file is committed so the perf record survives in-tree; CI regenerates
-//! it on every push to catch harness rot and big regressions.
+//! Results land in `BENCH_pr6.json` (repo root by default, or the path
+//! given as the first non-flag argument) as edges/sec per scenario —
+//! scalar for the single-config scenarios, a `threads` map for the
+//! scaling ones. The file is committed so the perf record survives
+//! in-tree; CI regenerates it on every push to catch harness rot and big
+//! regressions.
 //!
 //! Run: `cargo run --release -p duet-bench --bin bench_smoke [out.json]`
 
@@ -97,6 +105,64 @@ fn stream_stores_edges_per_sec() -> f64 {
     eps
 }
 
+/// One intra-run-scaling cell: every core of `cfg` streams stores into a
+/// shared hotspot window (lines interleave across L3 homes, so the
+/// traffic crosses shard boundaries), with the simulation sharded over
+/// `threads` threads. Returns edges/sec and the final simulated time —
+/// the latter is printed so a scaling sweep visibly produces identical
+/// simulated results at every thread count.
+fn noc_hotspot_edges_per_sec(mut cfg: SystemConfig, threads: usize) -> (f64, Time) {
+    cfg.sim_threads = threads;
+    let mut a = duet_cpu::asm::Asm::new();
+    a.label("main");
+    a.li(duet_cpu::isa::regs::T[0], 0x20_0000);
+    a.li(duet_cpu::isa::regs::T[2], 0x20_0000 + 0x1000);
+    a.label("loop");
+    a.sd(duet_cpu::isa::regs::T[1], duet_cpu::isa::regs::T[0], 0);
+    a.addi(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[0], 64);
+    a.blt(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[2], "loop");
+    a.halt();
+    let prog = Arc::new(a.assemble().expect("static program assembles"));
+
+    metrics::reset();
+    let start = Instant::now();
+    let mut sys = System::new(cfg).expect("valid config");
+    for core in 0..sys.config().processors {
+        sys.load_program(core, prog.clone(), "main");
+    }
+    sys.run_until_halt(Time::from_us(40_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    let end = sys
+        .quiesce(Time::from_us(50_000))
+        .unwrap_or_else(|e| panic!("{e}"));
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let (edges, _) = metrics::snapshot();
+    ((edges as f64 / wall), end)
+}
+
+/// Sweeps a hotspot scenario over simulation-thread counts. Each cell
+/// runs alone (one sweep worker): sweep × intra-run threads multiply.
+fn noc_hotspot_sweep(name: &str, cfg: &SystemConfig) -> Vec<(usize, f64)> {
+    let mut points = Vec::new();
+    let mut end_at_one = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (eps, end) = noc_hotspot_edges_per_sec(cfg.clone(), threads);
+        match end_at_one {
+            None => end_at_one = Some(end),
+            Some(t0) => assert_eq!(
+                t0, end,
+                "{name}: simulated end time diverged at {threads} sim threads"
+            ),
+        }
+        println!(
+            "# {name} threads={threads} throughput: {eps:.3e} edges/sec (sim end {} ps)",
+            end.as_ps()
+        );
+        points.push((threads, eps));
+    }
+    points
+}
+
 fn main() -> std::io::Result<()> {
     // First non-flag argument (skipping flag values) is the output path.
     let mut out_path = None;
@@ -108,20 +174,37 @@ fn main() -> std::io::Result<()> {
             out_path = Some(a);
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr6.json".to_string());
 
     let fig9 = fig9_edges_per_sec();
     let stream = stream_stores_edges_per_sec();
+    let hotspot_8 = noc_hotspot_sweep("noc_hotspot_8x8", &SystemConfig::mesh_8x8());
+    let hotspot_16 = noc_hotspot_sweep("noc_hotspot_16x16", &SystemConfig::mesh_16x16());
 
     // Hand-rolled JSON: two decimal places of mantissa are plenty for a
     // trajectory record, and no serde dependency is needed.
-    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v1\",\n");
+    let fmt_threads = |points: &[(usize, f64)]| {
+        let cells: Vec<String> = points
+            .iter()
+            .map(|(t, eps)| format!("\"{t}\": {eps:.3e}"))
+            .collect();
+        format!("{{ \"threads\": {{ {} }} }}", cells.join(", "))
+    };
+    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v2\",\n");
     body.push_str("  \"unit\": \"edges_per_sec\",\n  \"scenarios\": {\n");
     if let Some(f) = fig9 {
         body.push_str(&format!("    \"fig9_latency_sweep\": {f:.3e},\n"));
     }
     body.push_str(&format!(
-        "    \"stream_stores_p4_coherence_heavy\": {stream:.3e}\n  }}\n}}\n"
+        "    \"stream_stores_p4_coherence_heavy\": {stream:.3e},\n"
+    ));
+    body.push_str(&format!(
+        "    \"noc_hotspot_8x8\": {},\n",
+        fmt_threads(&hotspot_8)
+    ));
+    body.push_str(&format!(
+        "    \"noc_hotspot_16x16\": {}\n  }}\n}}\n",
+        fmt_threads(&hotspot_16)
     ));
     // A full disk or bad path is a clean error for CI to show, not a panic.
     std::fs::write(&out_path, &body).map_err(|e| {

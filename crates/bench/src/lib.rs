@@ -21,26 +21,35 @@ use std::time::Instant;
 
 /// The worker-thread count for [`parallel_map`]: `--threads N` (or
 /// `--threads=N`) from the command line, else `DUET_BENCH_THREADS`, else
-/// [`std::thread::available_parallelism`]. Always at least 1.
+/// [`std::thread::available_parallelism`]. `0` from either source also
+/// means "auto" (available parallelism), matching the `sim_threads`
+/// convention in `duet-system`. Always at least 1.
+///
+/// Sweep workers multiply with *intra-run* simulation threads
+/// (`SystemConfig::sim_threads` / `DUET_SIM_THREADS`): a sweep of S
+/// workers each running a T-shard simulation occupies up to S×T host
+/// threads. Harnesses that sweep `sim_threads` should cap the product —
+/// bench_smoke runs its intra-run scaling cells with one sweep worker.
 pub fn configured_threads() -> usize {
+    let auto = || std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--threads" {
             if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
-                return n.max(1);
+                return if n == 0 { auto() } else { n };
             }
         } else if let Some(v) = a.strip_prefix("--threads=") {
             if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
+                return if n == 0 { auto() } else { n };
             }
         }
     }
     if let Ok(v) = std::env::var("DUET_BENCH_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+            return if n == 0 { auto() } else { n };
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    auto()
 }
 
 /// Applies `f` to every item on a scoped thread pool and returns the

@@ -621,6 +621,64 @@ impl<P> Component for Mesh<P> {
     }
 }
 
+/// A sorted, duplicate-free set of node ids, used as a dirty list by the
+/// run loop: nodes whose injection pipes are non-empty. Iteration order is
+/// always ascending node id, so a scan over the dirty set visits nodes in
+/// exactly the same order as a full `0..nodes` scan — that makes the
+/// optimized injection pump bit-identical to the naive one, and lets
+/// per-shard dirty lists (each sorted, covering disjoint ranges) merge
+/// deterministically regardless of which thread produced them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirtyNodes {
+    nodes: Vec<NodeId>,
+}
+
+impl DirtyNodes {
+    /// An empty set.
+    pub fn new() -> Self {
+        DirtyNodes::default()
+    }
+
+    /// Adds `node` if not already present. O(log n) search + O(n) shift;
+    /// dirty sets are tiny (bounded by in-flight injection sources).
+    pub fn insert(&mut self, node: NodeId) {
+        if let Err(i) = self.nodes.binary_search(&node) {
+            self.nodes.insert(i, node);
+        }
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// Keeps only the nodes for which `keep` returns true, preserving
+    /// ascending order. `keep` is called exactly once per node, ascending.
+    pub fn retain(&mut self, mut keep: impl FnMut(NodeId) -> bool) {
+        self.nodes.retain(|&n| keep(n));
+    }
+
+    /// Number of dirty nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Ascending iteration over the dirty node ids.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -882,5 +940,26 @@ mod tests {
         let t1 = Time::from_ps(2000);
         mesh.tick(t1); // one wins, the other stays visible
         assert_eq!(mesh.next_event_time(t1), Some(Time::from_ps(3000)));
+    }
+
+    #[test]
+    fn dirty_nodes_stay_sorted_and_unique() {
+        let mut d = DirtyNodes::new();
+        for n in [7, 2, 9, 2, 7, 0, 9] {
+            d.insert(n);
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0, 2, 7, 9]);
+        assert!(d.contains(7));
+        assert!(!d.contains(5));
+        let mut seen = Vec::new();
+        d.retain(|n| {
+            seen.push(n);
+            n != 2
+        });
+        assert_eq!(seen, vec![0, 2, 7, 9], "retain visits ascending");
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0, 7, 9]);
+        d.clear();
+        assert!(d.is_empty());
     }
 }

@@ -51,6 +51,7 @@ pub mod fifo;
 pub mod horizon;
 pub mod link;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod storage;
 pub mod time;
@@ -61,6 +62,7 @@ pub use fifo::{AsyncFifo, Fifo, PushError};
 pub use horizon::{merge_min, Horizon};
 pub use link::{Link, LinkReport, LinkStats};
 pub use rng::SimRng;
+pub use shard::{partition_balanced, EpochBarrier};
 pub use stats::{Counter, LatencyBreakdown, RunningStats};
 pub use storage::{IdSlab, LineMap, PagedMem};
 pub use time::Time;

@@ -1,0 +1,263 @@
+//! Sharded-execution primitives: a deterministic contiguous partitioner
+//! and the epoch barrier that synchronizes per-shard worker threads.
+//!
+//! The intra-run parallel loop (see `duet-system`) slices the component
+//! graph into contiguous node ranges — one shard per simulation thread —
+//! and runs each shard's per-edge component passes concurrently between
+//! two deterministic barriers. Everything here is host-side machinery:
+//! shard *count* and shard *boundaries* are pure functions of the
+//! configuration, and the merge order after each barrier is fixed, so
+//! simulation results are bit-identical for any thread count.
+//!
+//! The conservative lookahead bound for this design degenerates to a
+//! single clock edge: every cross-shard `Link` (the mesh hop FIFOs and
+//! the per-node injection pipes) has next-edge visibility, so a message
+//! produced at edge *k* can be consumed at edge *k+1* — shards therefore
+//! synchronize every executed edge, and the event-horizon scheduler keeps
+//! the edge count itself low. [`EpochBarrier`] makes that per-edge
+//! synchronization cheap: an epoch open is one release store, and workers
+//! spin briefly before yielding (and eventually parking on a condvar, so
+//! an idle pool costs nothing between runs).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Splits `weights.len()` items into at most `parts` contiguous,
+/// non-empty ranges with approximately equal total weight.
+///
+/// The split is deterministic (greedy left-to-right against the remaining
+/// average) and every item lands in exactly one range, so concatenating
+/// the ranges in order always re-yields `0..weights.len()`. Fewer ranges
+/// than requested come back when there are fewer items than parts.
+pub fn partition_balanced(weights: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = parts.clamp(1, n);
+    let total: u64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    let mut used = 0u64;
+    for p in 0..k {
+        let parts_left = (k - p) as u64;
+        // Leave at least one item for every remaining part.
+        let max_end = n - (k - p - 1);
+        let target = ((total - used) / parts_left).max(1);
+        let mut end = start + 1;
+        let mut w = weights[start];
+        while end < max_end && w + weights[end] / 2 < target {
+            w += weights[end];
+            end += 1;
+        }
+        if p == k - 1 {
+            end = n;
+        }
+        used += weights[start..end].iter().sum::<u64>();
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// A reusable two-phase barrier for per-edge fork/join between one
+/// coordinator and `workers` persistent worker threads.
+///
+/// Per epoch: the coordinator publishes work, calls
+/// [`open`](EpochBarrier::open) (one release store plus a conditional
+/// wake), does its own share, then [`wait_done`](EpochBarrier::wait_done).
+/// Workers block in [`wait_open`](EpochBarrier::wait_open) — spinning
+/// briefly, then yielding, then parking on a condvar so an idle pool
+/// burns no CPU — and report with [`finish`](EpochBarrier::finish).
+///
+/// The barrier carries no payload; release/acquire ordering on the epoch
+/// and done counters makes everything written before `open` visible to
+/// workers, and everything workers wrote visible after `wait_done`.
+#[derive(Debug)]
+pub struct EpochBarrier {
+    epoch: AtomicU64,
+    done: Vec<AtomicU64>,
+    quit: AtomicBool,
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Spin iterations before a waiting thread starts yielding.
+const SPINS: u32 = 128;
+/// Yield iterations before a worker parks on the condvar.
+const YIELDS: u32 = 64;
+
+impl EpochBarrier {
+    /// A barrier coordinating `workers` worker threads (the coordinator
+    /// is not counted).
+    pub fn new(workers: usize) -> Self {
+        EpochBarrier {
+            epoch: AtomicU64::new(0),
+            done: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            quit: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of worker threads this barrier coordinates.
+    pub fn workers(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Opens epoch `epoch` (must be strictly increasing). Everything the
+    /// coordinator wrote before this call is visible to workers returning
+    /// from [`wait_open`](EpochBarrier::wait_open).
+    pub fn open(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.lock.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    fn poll(&self, last_seen: u64) -> Option<Option<u64>> {
+        if self.quit.load(Ordering::Acquire) {
+            return Some(None);
+        }
+        let e = self.epoch.load(Ordering::Acquire);
+        if e > last_seen {
+            return Some(Some(e));
+        }
+        None
+    }
+
+    /// Blocks a worker until an epoch newer than `last_seen` opens.
+    /// Returns `None` once [`shutdown`](EpochBarrier::shutdown) is called.
+    pub fn wait_open(&self, last_seen: u64) -> Option<u64> {
+        for _ in 0..SPINS {
+            if let Some(r) = self.poll(last_seen) {
+                return r;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..YIELDS {
+            if let Some(r) = self.poll(last_seen) {
+                return r;
+            }
+            std::thread::yield_now();
+        }
+        let mut g = self.lock.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let r = loop {
+            if let Some(r) = self.poll(last_seen) {
+                break r;
+            }
+            g = self.cv.wait(g).unwrap();
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        r
+    }
+
+    /// Worker `worker` reports its share of epoch `epoch` complete.
+    pub fn finish(&self, worker: usize, epoch: u64) {
+        self.done[worker].store(epoch, Ordering::Release);
+    }
+
+    /// Blocks the coordinator until every worker has finished `epoch`.
+    /// The coordinator spins/yields but never parks: by the time it gets
+    /// here it has finished its own shard and the workers are close
+    /// behind.
+    pub fn wait_done(&self, epoch: u64) {
+        for d in &self.done {
+            let mut spins = 0u32;
+            while d.load(Ordering::Acquire) < epoch {
+                if spins < SPINS {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Tells every worker to exit its `wait_open` loop.
+    pub fn shutdown(&self) {
+        self.quit.store(true, Ordering::SeqCst);
+        let _g = self.lock.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn partition_covers_everything_in_order() {
+        for n in 1..40usize {
+            for k in 1..10usize {
+                let weights: Vec<u64> = (0..n as u64).map(|i| 1 + i % 7).collect();
+                let parts = partition_balanced(&weights, k);
+                assert!(parts.len() <= k.min(n));
+                assert!(!parts.is_empty());
+                let mut next = 0;
+                for r in &parts {
+                    assert_eq!(r.start, next, "contiguous, ascending");
+                    assert!(r.end > r.start, "non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "full coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_roughly_balanced() {
+        let weights = vec![1u64; 64];
+        let parts = partition_balanced(&weights, 4);
+        assert_eq!(parts.len(), 4);
+        for r in &parts {
+            assert!(r.len() >= 8, "no starved shard: {parts:?}");
+        }
+    }
+
+    #[test]
+    fn partition_more_parts_than_items_degrades() {
+        let parts = partition_balanced(&[5, 5], 8);
+        assert_eq!(parts, vec![0..1, 1..2]);
+        assert!(partition_balanced(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn barrier_synchronizes_epochs() {
+        let workers = 3;
+        let barrier = Arc::new(EpochBarrier::new(workers));
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let b = Arc::clone(&barrier);
+                let h = Arc::clone(&hits);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while let Some(ep) = b.wait_open(last) {
+                        last = ep;
+                        h[w].fetch_add(1, Ordering::SeqCst);
+                        b.finish(w, ep);
+                    }
+                })
+            })
+            .collect();
+        for ep in 1..=50u64 {
+            barrier.open(ep);
+            barrier.wait_done(ep);
+            for h in hits.iter() {
+                assert_eq!(h.load(Ordering::SeqCst), ep, "lockstep at epoch {ep}");
+            }
+        }
+        barrier.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

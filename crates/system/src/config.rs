@@ -98,6 +98,21 @@ pub struct SystemConfig {
     /// Deterministic fault-injection schedule (empty by default: inject
     /// nothing, cost nothing). See [`duet_verify::FaultPlan`].
     pub faults: FaultPlan,
+    /// Intra-run simulation threads: the component graph is partitioned
+    /// into this many shards, run concurrently between deterministic
+    /// per-edge barriers. `1` (the default) is the serial loop; `0` means
+    /// "use [`std::thread::available_parallelism`]". Overridable at run
+    /// time via `DUET_SIM_THREADS`. Results are bit-identical for any
+    /// value — this knob only trades host CPUs for wall-clock time.
+    ///
+    /// Note that sweep-level threads ([`parallel_map`] in `duet-bench`)
+    /// and intra-run threads multiply: a sweep of 8 workers each running
+    /// a 4-shard system wants 32 host CPUs. Cap the product at the host's
+    /// parallelism — prefer sweep-level workers for many small runs and
+    /// intra-run shards for one big mesh.
+    ///
+    /// [`parallel_map`]: https://docs.rs/duet-bench
+    pub sim_threads: usize,
 }
 
 impl SystemConfig {
@@ -114,6 +129,7 @@ impl SystemConfig {
             proxy_mshrs: 2,
             mmio_base: 0x4000_0000,
             faults: FaultPlan::empty(),
+            sim_threads: 1,
         }
     }
 
@@ -138,7 +154,21 @@ impl SystemConfig {
             proxy_mshrs: 8,
             mmio_base: 0x4000_0000,
             faults: FaultPlan::empty(),
+            sim_threads: 1,
         }
+    }
+
+    /// A 64-tile processor-only system on an 8×8 mesh — the mid-size
+    /// scaling configuration for intra-run parallel simulation.
+    pub fn mesh_8x8() -> Self {
+        Self::proc_only(64)
+    }
+
+    /// A 256-tile processor-only system on a 16×16 mesh — the big-mesh
+    /// scaling configuration (the NoC-hotspot scenario in `duet-bench`
+    /// runs here).
+    pub fn mesh_16x16() -> Self {
+        Self::proc_only(256)
     }
 
     /// Checks the configuration for inconsistencies that would make the
@@ -323,6 +353,19 @@ mod tests {
             c.validate(),
             Err(ConfigError::InvalidFpgaClock { .. })
         ));
+    }
+
+    #[test]
+    fn mesh_presets_are_square() {
+        let c = SystemConfig::mesh_8x8();
+        assert_eq!(c.tiles(), 64);
+        assert_eq!(c.mesh_dims(), (8, 8));
+        assert_eq!(c.validate(), Ok(()));
+        let c = SystemConfig::mesh_16x16();
+        assert_eq!(c.tiles(), 256);
+        assert_eq!(c.mesh_dims(), (16, 16));
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.sim_threads, 1, "presets default to the serial loop");
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 pub mod config;
 pub mod metrics;
+mod parallel;
 mod run_loop;
 mod stats;
 pub mod system;

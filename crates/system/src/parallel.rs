@@ -1,0 +1,705 @@
+//! Intra-run parallel simulation: the sharded fast-edge component passes.
+//!
+//! The fast edge is split into three regions:
+//!
+//! 1. **Serial prelude** (coordinator only): OS tasks, injection pump,
+//!    mesh tick, ejection dispatch. The mesh tick *must* stay serial —
+//!    router arbitration probes neighbor routers' occupancy in ascending
+//!    node order, so its intra-edge visibility is inherently sequential.
+//! 2. **Sharded component passes**: the per-node components (private L2s,
+//!    L3 shards, cores) are partitioned into contiguous node ranges — one
+//!    [`ShardCtx`] per shard — and run concurrently between two epoch
+//!    barriers. The serial loop is the degenerate case: one full-range
+//!    shard through the *same* code path.
+//! 3. **Serial postlude**: the adapter pass, then a deterministic merge
+//!    of per-shard output lanes (deferred MMIO inserts, injection-pipe
+//!    counters, dirty-node lists) in ascending shard order.
+//!
+//! # Determinism argument
+//!
+//! The conservative lookahead between shards is one clock edge: every
+//! cross-shard channel (mesh hop FIFOs, injection pipes) has next-edge
+//! visibility, so within one edge a shard can neither observe nor affect
+//! another shard's components. Concretely:
+//!
+//! * Every queue push a shard performs lands in a structure owned by its
+//!   own node range (its pipes, its caches), so per-queue push order is a
+//!   pure function of the within-shard pass order — identical to serial.
+//! * The only cross-shard writes are `L3RespDrop` budget decrements; each
+//!   fault spec targets a single node, a node belongs to exactly one
+//!   shard, so each counter has one consumer per edge.
+//! * Side effects that would interleave nondeterministically are
+//!   *deferred into per-shard lanes* and replayed at the merge in shard
+//!   order: MMIO-id slab inserts (ascending core order — exactly the
+//!   serial insert order) and trace events from L2s/L3s (per-shard
+//!   scratch rings drained in serial component order).
+//!
+//! Hence merged state, statistics, and traces are byte-identical to the
+//! serial loop for any shard count — the differential suite
+//! (`tests/tests/parallel_determinism.rs`) asserts this.
+//!
+//! # Execution modes
+//!
+//! With one shard the passes run inline with plain borrows. With several
+//! shards and real host parallelism, a lazily-spawned [`ShardPool`] of
+//! persistent workers runs them; the coordinator publishes raw,
+//! range-disjoint views ([`RawShardView`]) guarded by an
+//! [`EpochBarrier`]. On a single-CPU host the same sharded schedule runs
+//! inline on the coordinator (so the reordered schedule, lane deferral,
+//! and scratch tracing are exercised even without threads);
+//! `DUET_SIM_FORCE_THREADS=1` forces real workers regardless.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use duet_core::DuetMsg;
+use duet_cpu::Core;
+use duet_mem::priv_cache::PrivCache;
+use duet_mem::types::MemReq;
+use duet_mem::L3Shard;
+use duet_noc::NodeId;
+use duet_sim::{EpochBarrier, Link, Time};
+use duet_trace::{TraceBuffer, Tracer};
+use duet_verify::FaultKind;
+
+use crate::config::SystemConfig;
+use crate::system::{NodeRole, System};
+
+/// One shard of the component graph: a contiguous node range plus the
+/// core indices living inside it (cores occupy nodes `0..processors`).
+#[derive(Clone, Debug)]
+pub(crate) struct ShardSpec {
+    /// Mesh nodes (and hence L3 shards / injection pipes) in this shard.
+    pub(crate) nodes: Range<usize>,
+    /// Core (= private L2) indices in this shard: `nodes ∩ 0..processors`.
+    pub(crate) cores: Range<usize>,
+}
+
+/// Per-shard output lane: side effects a worker may not apply directly
+/// (they would interleave nondeterministically across shards), collected
+/// during the parallel region and replayed at the merge in shard order.
+#[derive(Debug, Default)]
+pub(crate) struct ShardLane {
+    /// Deferred MMIO requests: `(core index, original request)`. Replayed
+    /// ascending at the merge so `mmio_ids` slab inserts happen in the
+    /// exact serial order.
+    pub(crate) mmio: Vec<(usize, MemReq)>,
+    /// Injection-pipe pushes performed by this shard this edge (folded
+    /// into `inject_pending_total` at the merge).
+    pub(crate) pushed: usize,
+    /// Nodes whose injection pipes went non-empty this edge (merged into
+    /// the global dirty set).
+    pub(crate) dirty: Vec<NodeId>,
+}
+
+/// Deterministic weight-balanced contiguous partition of the node range.
+/// Core nodes carry most of the per-edge work (core + L2 + L3 ticks),
+/// hub nodes a little (their L3; the hub itself runs in the serial
+/// adapter pass), filler nodes only their L3.
+pub(crate) fn build_shard_plan(
+    node_roles: &[NodeRole],
+    processors: usize,
+    shards: usize,
+) -> Vec<ShardSpec> {
+    let weights: Vec<u64> = node_roles
+        .iter()
+        .map(|r| match r {
+            NodeRole::Core(_) => 6,
+            NodeRole::Hub(_) => 2,
+            NodeRole::ShardOnly => 1,
+        })
+        .collect();
+    duet_sim::partition_balanced(&weights, shards)
+        .into_iter()
+        .map(|nodes| {
+            let cores = nodes.start.min(processors)..nodes.end.min(processors);
+            ShardSpec { nodes, cores }
+        })
+        .collect()
+}
+
+/// Resolves the effective shard count: `DUET_SIM_THREADS` overrides the
+/// config, `0` means the host's available parallelism, and the result is
+/// clamped to `[1, nodes]`.
+pub(crate) fn resolve_sim_shards(cfg_threads: usize, nodes: usize) -> usize {
+    let requested = std::env::var("DUET_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(cfg_threads);
+    let resolved = if requested == 0 {
+        host_parallelism()
+    } else {
+        requested
+    };
+    resolved.clamp(1, nodes.max(1))
+}
+
+/// Whether sharded passes should use real worker threads: more than one
+/// host CPU, or the `DUET_SIM_FORCE_THREADS=1` escape hatch (used by the
+/// determinism tests to exercise the pool on single-CPU hosts).
+pub(crate) fn want_worker_threads() -> bool {
+    std::env::var("DUET_SIM_FORCE_THREADS").is_ok_and(|v| v == "1") || host_parallelism() > 1
+}
+
+/// The host's available parallelism, defaulting to 1.
+pub(crate) fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Mutex lock that shrugs off poisoning: the protected structures (trace
+/// scratch rings, view slots) stay valid even if a worker panicked, and
+/// the panic itself surfaces at join.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One shard's working set for a single fast edge: disjoint slices of
+/// the per-node component vectors, plus the shared (read-only) config and
+/// fault budgets, plus this shard's output lane.
+pub(crate) struct ShardCtx<'a> {
+    pub(crate) now: Time,
+    pub(crate) gate: bool,
+    pub(crate) faulted: bool,
+    /// First global node id of the `l3s`/`pipes` slices.
+    pub(crate) node0: usize,
+    /// First global core index of the `cores`/`l2s`/`core_held` slices.
+    pub(crate) core0: usize,
+    pub(crate) cfg: &'a SystemConfig,
+    pub(crate) cores: &'a mut [Core],
+    pub(crate) l2s: &'a mut [PrivCache],
+    pub(crate) l3s: &'a mut [L3Shard],
+    pub(crate) core_held: &'a mut [Option<MemReq>],
+    pub(crate) pipes: &'a mut [Link<(NodeId, DuetMsg)>],
+    pub(crate) fault_budget: &'a [AtomicU64],
+    pub(crate) lane: &'a mut ShardLane,
+}
+
+impl ShardCtx<'_> {
+    /// Queues `(dst, msg)` on `src`'s injection pipe — `src` always lies
+    /// inside this shard's node range (components only inject from their
+    /// own node), so no cross-shard write ever happens here.
+    fn enqueue(&mut self, src: NodeId, dst: NodeId, msg: DuetMsg) {
+        let pipe = &mut self.pipes[src - self.node0];
+        if pipe.is_empty() {
+            self.lane.dirty.push(src);
+        }
+        if pipe.push(self.now, (dst, msg)).is_err() {
+            unreachable!("injection pipes are unbounded");
+        }
+        self.lane.pushed += 1;
+    }
+
+    /// The three per-node component passes of a fast edge, in the same
+    /// within-shard order as the serial loop: L2s, L3 shards, cores.
+    /// Skip gating is identical to the serial loop's.
+    pub(crate) fn run(&mut self) {
+        let now = self.now;
+        let gate = self.gate;
+
+        // L2s: tick, collect outgoing, deliver responses + back-invals.
+        for k in 0..self.l2s.len() {
+            if gate && self.core_held[k].is_none() && !self.l2s[k].is_active() {
+                continue;
+            }
+            // Retry a held request first.
+            if let Some(req) = self.core_held[k].take() {
+                if self.l2s[k].can_accept() {
+                    self.l2s[k].cpu_request(req);
+                } else {
+                    self.core_held[k] = Some(req);
+                }
+            }
+            self.l2s[k].tick(now);
+            let node = self.cfg.core_node(self.core0 + k);
+            while let Some((dst, msg)) = self.l2s[k].pop_outgoing(now) {
+                self.enqueue(node, dst, DuetMsg::Coherence(msg));
+            }
+            for (line, _) in self.l2s[k].take_back_invalidations() {
+                self.cores[k].back_invalidate(line);
+            }
+            while let Some(resp) = self.l2s[k].pop_cpu_resp(now) {
+                self.cores[k].mem_response(resp);
+            }
+        }
+
+        // L3 shards.
+        for j in 0..self.l3s.len() {
+            if gate && !self.l3s[j].is_active() {
+                continue;
+            }
+            self.l3s[j].tick(now);
+            let node = self.l3s[j].node();
+            // `L3RespStall`: responses stay queued in the shard's output
+            // pipe (keeping it active, so the horizon stays pinned) until
+            // the window closes.
+            if self.faulted && shard_output_stalled(self.cfg, node, now) {
+                continue;
+            }
+            while let Some((dst, msg)) = self.l3s[j].pop_outgoing(now) {
+                if self.faulted && shard_output_dropped(self.cfg, self.fault_budget, node, now) {
+                    continue; // `L3RespDrop`: the message is lost
+                }
+                self.enqueue(node, dst, DuetMsg::Coherence(msg));
+            }
+        }
+
+        // Cores: deliver requests to L2, defer MMIO into the lane (the
+        // merge replays lanes in shard order = ascending core order, so
+        // MMIO-id allocation matches the serial loop exactly).
+        for k in 0..self.cores.len() {
+            if gate && self.cores[k].next_event_time(now).is_none_or(|t| t > now) {
+                // The core would either do nothing this edge or only bump
+                // a stall counter; reconstruct that without ticking.
+                self.cores[k].account_skipped_edges(1);
+                continue;
+            }
+            self.cores[k].tick(now);
+            while self.core_held[k].is_none() {
+                let Some(req) = self.cores[k].pop_mem_request() else {
+                    break;
+                };
+                if self.cores[k].is_mmio(req.addr) {
+                    self.lane.mmio.push((self.core0 + k, req));
+                } else if self.l2s[k].can_accept() {
+                    self.l2s[k].cpu_request(req);
+                } else {
+                    self.core_held[k] = Some(req);
+                }
+            }
+        }
+    }
+}
+
+/// Whether an active `L3RespStall` fault is holding `node`'s shard
+/// output.
+fn shard_output_stalled(cfg: &SystemConfig, node: NodeId, now: Time) -> bool {
+    cfg.faults.specs.iter().any(|s| {
+        matches!(s.kind, FaultKind::L3RespStall { node: n } if n == node) && s.active_at(now)
+    })
+}
+
+/// Consumes one unit of `L3RespDrop` budget for `node`, if a matching
+/// fault is active. True means the popped shard message is lost. Relaxed
+/// atomics suffice: each spec targets one node, a node belongs to one
+/// shard, so each counter has a single consumer per edge.
+fn shard_output_dropped(cfg: &SystemConfig, budget: &[AtomicU64], node: NodeId, now: Time) -> bool {
+    for (i, spec) in cfg.faults.specs.iter().enumerate() {
+        if !spec.active_at(now) || budget[i].load(Ordering::Relaxed) == 0 {
+            continue;
+        }
+        if let FaultKind::L3RespDrop { node: n, .. } = spec.kind {
+            if n == node {
+                budget[i].fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Per-shard trace scratch: while a multi-shard pass runs, L2/L3 tracers
+/// are rebound to per-shard rings so concurrent emission cannot scramble
+/// the session ring's order; after the join the scratch rings drain into
+/// the session ring in serial component order (all L2 buckets ascending,
+/// then all L3 buckets ascending). Scratch capacity equals the session
+/// capacity, which makes the drain ring-exact (same retained window, same
+/// drop counts as direct serial emission).
+pub(crate) struct TraceScratch {
+    main: Arc<Mutex<TraceBuffer>>,
+    orig_l2: Vec<Tracer>,
+    orig_l3: Vec<Tracer>,
+    scratch_l2: Vec<Tracer>,
+    scratch_l3: Vec<Tracer>,
+    l2_bufs: Vec<Arc<Mutex<TraceBuffer>>>,
+    l3_bufs: Vec<Arc<Mutex<TraceBuffer>>>,
+}
+
+/// Raw, `Send`-able view of one shard's working set, published to a
+/// worker thread for exactly one epoch.
+///
+/// Safety rests on three invariants the coordinator upholds:
+/// * views built for one epoch cover pairwise-disjoint ranges of the
+///   component vectors (the shard plan partitions `0..nodes`),
+/// * the coordinator touches none of the viewed storage between
+///   [`EpochBarrier::open`] and [`EpochBarrier::wait_done`],
+/// * the backing vectors are never resized while a pool exists (their
+///   lengths are fixed at wiring time).
+pub(crate) struct RawShardView {
+    now: Time,
+    gate: bool,
+    faulted: bool,
+    node0: usize,
+    core0: usize,
+    ncores: usize,
+    nnodes: usize,
+    cfg: *const SystemConfig,
+    cores: *mut Core,
+    l2s: *mut PrivCache,
+    l3s: *mut L3Shard,
+    core_held: *mut Option<MemReq>,
+    pipes: *mut Link<(NodeId, DuetMsg)>,
+    budget: *const AtomicU64,
+    budget_len: usize,
+    lane: *mut ShardLane,
+}
+
+// SAFETY: the pointed-to types are all `Send` (asserted below), the
+// ranges are disjoint per epoch, and the barrier protocol gives exclusive
+// access for the epoch's duration.
+unsafe impl Send for RawShardView {}
+
+#[allow(dead_code)]
+fn assert_send<T: Send>() {}
+#[allow(dead_code)]
+fn assert_sync<T: Sync>() {}
+/// Compile-time proof that everything a worker touches through a
+/// [`RawShardView`] is safe to move across threads. If any component
+/// gains a non-`Send` member, this stops compiling instead of the
+/// `unsafe impl` silently lying.
+#[allow(dead_code)]
+fn assert_shard_payloads_thread_safe() {
+    assert_send::<Core>();
+    assert_send::<PrivCache>();
+    assert_send::<L3Shard>();
+    assert_send::<Option<MemReq>>();
+    assert_send::<Link<(NodeId, DuetMsg)>>();
+    assert_send::<ShardLane>();
+    assert_sync::<SystemConfig>();
+    assert_sync::<AtomicU64>();
+}
+
+/// Runs one shard's passes through a raw view.
+///
+/// # Safety
+///
+/// `v` must point into live storage, its range disjoint from every other
+/// concurrently-running view, with no other access to that storage until
+/// the epoch closes (see [`RawShardView`]).
+unsafe fn run_raw(v: RawShardView) {
+    let mut ctx = ShardCtx {
+        now: v.now,
+        gate: v.gate,
+        faulted: v.faulted,
+        node0: v.node0,
+        core0: v.core0,
+        cfg: &*v.cfg,
+        cores: std::slice::from_raw_parts_mut(v.cores, v.ncores),
+        l2s: std::slice::from_raw_parts_mut(v.l2s, v.ncores),
+        l3s: std::slice::from_raw_parts_mut(v.l3s, v.nnodes),
+        core_held: std::slice::from_raw_parts_mut(v.core_held, v.ncores),
+        pipes: std::slice::from_raw_parts_mut(v.pipes, v.nnodes),
+        fault_budget: std::slice::from_raw_parts(v.budget, v.budget_len),
+        lane: &mut *v.lane,
+    };
+    ctx.run();
+}
+
+/// Persistent worker threads for sharded passes. Worker `w` runs shard
+/// `w + 1`; the coordinator runs shard 0 itself between opening the
+/// epoch and waiting on the barrier. Dropped (and joined) with the
+/// owning [`System`].
+pub(crate) struct ShardPool {
+    barrier: Arc<EpochBarrier>,
+    views: Arc<Mutex<Vec<Option<RawShardView>>>>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: u64,
+}
+
+impl ShardPool {
+    /// Spawns `workers` persistent shard workers.
+    pub(crate) fn new(workers: usize) -> Self {
+        let barrier = Arc::new(EpochBarrier::new(workers));
+        let views: Arc<Mutex<Vec<Option<RawShardView>>>> = Arc::new(Mutex::new(Vec::new()));
+        let handles = (0..workers)
+            .map(|w| {
+                let b = Arc::clone(&barrier);
+                let v = Arc::clone(&views);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("duet-shard-{}", w + 1))
+                    .spawn(move || worker_main(w, b, v));
+                match spawned {
+                    Ok(h) => h,
+                    Err(e) => panic!("failed to spawn shard worker {w}: {e}"),
+                }
+            })
+            .collect();
+        ShardPool {
+            barrier,
+            views,
+            handles,
+            epoch: 0,
+        }
+    }
+
+    /// Runs one epoch: publishes `views[1..]` to the workers, runs
+    /// `views[0]` on the calling thread, and joins at the barrier.
+    pub(crate) fn run_epoch(&mut self, mut views: Vec<RawShardView>) {
+        debug_assert_eq!(views.len(), self.barrier.workers() + 1);
+        let mine = views.remove(0);
+        {
+            let mut slots = lock_ignore_poison(&self.views);
+            slots.clear();
+            slots.extend(views.into_iter().map(Some));
+        }
+        self.epoch += 1;
+        self.barrier.open(self.epoch);
+        // SAFETY: shard 0's range is disjoint from every published view.
+        unsafe { run_raw(mine) };
+        self.barrier.wait_done(self.epoch);
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.barrier.shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(w: usize, barrier: Arc<EpochBarrier>, views: Arc<Mutex<Vec<Option<RawShardView>>>>) {
+    let mut last = 0u64;
+    while let Some(epoch) = barrier.wait_open(last) {
+        last = epoch;
+        let view = lock_ignore_poison(&views)[w].take();
+        if let Some(v) = view {
+            // SAFETY: the coordinator published disjoint ranges for this
+            // epoch and touches none of them until `wait_done` returns.
+            unsafe { run_raw(v) };
+        }
+        barrier.finish(w, epoch);
+    }
+}
+
+impl System {
+    /// The effective shard count for this system's fast-edge passes.
+    pub fn sim_shards(&self) -> usize {
+        self.sim_shards
+    }
+
+    /// The per-node component passes of a fast edge: a single full-range
+    /// shard runs directly (the serial loop); multiple shards run under
+    /// the pool or inline, with L2/L3 trace emission redirected through
+    /// per-shard scratch rings while the parallel region is open.
+    pub(crate) fn component_passes(&mut self, now: Time) {
+        if self.sim_shards <= 1 {
+            self.run_shard_inline(now, 0);
+            return;
+        }
+        let scratch = self.prepare_trace_scratch();
+        if scratch {
+            self.bind_scratch_tracers();
+        }
+        if self.pool_enabled {
+            self.run_shards_pooled(now);
+        } else {
+            for s in 0..self.shard_plan.len() {
+                self.run_shard_inline(now, s);
+            }
+        }
+        if scratch {
+            self.restore_and_drain_scratch();
+        }
+    }
+
+    /// Runs shard `s` on the calling thread with plain borrows.
+    fn run_shard_inline(&mut self, now: Time, s: usize) {
+        let spec = self.shard_plan[s].clone();
+        let mut ctx = ShardCtx {
+            now,
+            gate: self.skip_enabled,
+            faulted: !self.cfg.faults.specs.is_empty(),
+            node0: spec.nodes.start,
+            core0: spec.cores.start,
+            cfg: &self.cfg,
+            cores: &mut self.cores[spec.cores.clone()],
+            l2s: &mut self.l2s[spec.cores.clone()],
+            l3s: &mut self.shards[spec.nodes.clone()],
+            core_held: &mut self.core_held[spec.cores.clone()],
+            pipes: &mut self.inject_pending[spec.nodes.clone()],
+            fault_budget: &self.fault_budget,
+            lane: &mut self.shard_lanes[s],
+        };
+        ctx.run();
+    }
+
+    /// Runs every shard concurrently on the persistent pool.
+    fn run_shards_pooled(&mut self, now: Time) {
+        let views = self.build_raw_views(now);
+        let workers = views.len() - 1;
+        let pool = self
+            .shard_pool
+            .get_or_insert_with(|| ShardPool::new(workers));
+        pool.run_epoch(views);
+    }
+
+    /// Builds one raw view per shard. The views alias `self`'s component
+    /// vectors; the caller must not touch those vectors until the epoch
+    /// closes.
+    fn build_raw_views(&mut self, now: Time) -> Vec<RawShardView> {
+        let gate = self.skip_enabled;
+        let faulted = !self.cfg.faults.specs.is_empty();
+        let cfg: *const SystemConfig = &self.cfg;
+        let cores = self.cores.as_mut_ptr();
+        let l2s = self.l2s.as_mut_ptr();
+        let l3s = self.shards.as_mut_ptr();
+        let core_held = self.core_held.as_mut_ptr();
+        let pipes = self.inject_pending.as_mut_ptr();
+        let budget = self.fault_budget.as_ptr();
+        let budget_len = self.fault_budget.len();
+        let lanes = self.shard_lanes.as_mut_ptr();
+        self.shard_plan
+            .iter()
+            .enumerate()
+            .map(|(s, spec)| {
+                // SAFETY: every offset stays within its vector (the plan
+                // partitions `0..nodes`, cores ⊆ nodes); one-past-end
+                // pointers for empty core ranges are valid.
+                unsafe {
+                    RawShardView {
+                        now,
+                        gate,
+                        faulted,
+                        node0: spec.nodes.start,
+                        core0: spec.cores.start,
+                        ncores: spec.cores.len(),
+                        nnodes: spec.nodes.len(),
+                        cfg,
+                        cores: cores.add(spec.cores.start),
+                        l2s: l2s.add(spec.cores.start),
+                        l3s: l3s.add(spec.nodes.start),
+                        core_held: core_held.add(spec.cores.start),
+                        pipes: pipes.add(spec.nodes.start),
+                        budget,
+                        budget_len,
+                        lane: lanes.add(s),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Replays every shard's output lane in ascending shard order: folds
+    /// push counters into `inject_pending_total`, dirty nodes into the
+    /// global set, and performs the deferred MMIO sends (slab inserts in
+    /// ascending core order — the serial allocation order).
+    pub(crate) fn merge_shard_lanes(&mut self, _now: Time) {
+        for s in 0..self.shard_lanes.len() {
+            let pushed = std::mem::take(&mut self.shard_lanes[s].pushed);
+            self.inject_pending_total += pushed;
+            for k in 0..self.shard_lanes[s].dirty.len() {
+                let n = self.shard_lanes[s].dirty[k];
+                self.inject_dirty.insert(n);
+            }
+            self.shard_lanes[s].dirty.clear();
+            for k in 0..self.shard_lanes[s].mmio.len() {
+                let (i, req) = self.shard_lanes[s].mmio[k];
+                let id = self.mmio_ids.insert((i, req.id));
+                let mut r = req;
+                r.id = id;
+                let node = self.cfg.core_node(i);
+                let dst = self.cfg.ctile_node();
+                self.enqueue_msg(
+                    node,
+                    dst,
+                    DuetMsg::MmioReq {
+                        req: r,
+                        reply_to: node,
+                    },
+                );
+            }
+            self.shard_lanes[s].mmio.clear();
+        }
+    }
+
+    /// Lazily builds the per-shard trace scratch. Returns whether scratch
+    /// rebinding is needed this edge (i.e. tracing is on).
+    fn prepare_trace_scratch(&mut self) -> bool {
+        let Some(session) = self.trace.as_ref() else {
+            self.trace_scratch = None;
+            return false;
+        };
+        if self.trace_scratch.is_some() {
+            return true;
+        }
+        let cap = session.capacity();
+        let main = session.shared_buffer();
+        let nshards = self.shard_plan.len();
+        let l2_bufs: Vec<_> = (0..nshards)
+            .map(|_| Arc::new(Mutex::new(TraceBuffer::new(cap))))
+            .collect();
+        let l3_bufs: Vec<_> = (0..nshards)
+            .map(|_| Arc::new(Mutex::new(TraceBuffer::new(cap))))
+            .collect();
+        let mut orig_l2 = Vec::with_capacity(self.l2s.len());
+        let mut scratch_l2 = Vec::with_capacity(self.l2s.len());
+        let mut orig_l3 = Vec::with_capacity(self.shards.len());
+        let mut scratch_l3 = Vec::with_capacity(self.shards.len());
+        for (s, spec) in self.shard_plan.iter().enumerate() {
+            for i in spec.cores.clone() {
+                orig_l2.push(self.l2s[i].tracer().clone());
+                scratch_l2.push(self.l2s[i].tracer().retarget(Arc::clone(&l2_bufs[s])));
+            }
+            for n in spec.nodes.clone() {
+                orig_l3.push(self.shards[n].tracer().clone());
+                scratch_l3.push(self.shards[n].tracer().retarget(Arc::clone(&l3_bufs[s])));
+            }
+        }
+        self.trace_scratch = Some(TraceScratch {
+            main,
+            orig_l2,
+            orig_l3,
+            scratch_l2,
+            scratch_l3,
+            l2_bufs,
+            l3_bufs,
+        });
+        true
+    }
+
+    /// Points every L2/L3 tracer at its shard's scratch ring for the
+    /// duration of the parallel region.
+    fn bind_scratch_tracers(&mut self) {
+        let Some(ts) = self.trace_scratch.as_ref() else {
+            return;
+        };
+        for i in 0..self.l2s.len() {
+            self.l2s[i].set_tracer(ts.scratch_l2[i].clone());
+        }
+        for n in 0..self.shards.len() {
+            self.shards[n].set_tracer(ts.scratch_l3[n].clone());
+        }
+    }
+
+    /// Restores the session tracers and drains the scratch rings into the
+    /// session ring in serial component order: all L2 buckets (ascending
+    /// shard = ascending core), then all L3 buckets (ascending shard =
+    /// ascending node) — exactly the order direct serial emission uses
+    /// within a fast edge.
+    fn restore_and_drain_scratch(&mut self) {
+        let Some(ts) = self.trace_scratch.as_ref() else {
+            return;
+        };
+        for i in 0..self.l2s.len() {
+            self.l2s[i].set_tracer(ts.orig_l2[i].clone());
+        }
+        for n in 0..self.shards.len() {
+            self.shards[n].set_tracer(ts.orig_l3[n].clone());
+        }
+        let mut main = lock_ignore_poison(&ts.main);
+        for b in &ts.l2_bufs {
+            lock_ignore_poison(b).take_into(&mut main);
+        }
+        for b in &ts.l3_bufs {
+            lock_ignore_poison(b).take_into(&mut main);
+        }
+    }
+}

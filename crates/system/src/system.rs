@@ -57,6 +57,10 @@ pub struct System {
     pub(crate) inject_pending: Vec<Link<(NodeId, DuetMsg)>>,
     /// Total entries across `inject_pending` (O(1) activity check).
     pub(crate) inject_pending_total: usize,
+    /// Sorted superset of the nodes whose injection pipes are non-empty,
+    /// so the injection pump visits only live pipes (ascending — the same
+    /// order as a full node scan).
+    pub(crate) inject_dirty: duet_noc::DirtyNodes,
     /// Core cached-request held when the L2 queue is full.
     pub(crate) core_held: Vec<Option<MemReq>>,
     /// Per-node cache role, indexed by NoC node (built in wiring).
@@ -99,8 +103,11 @@ pub struct System {
     /// Per-spec latch: whether spec `i`'s window is currently applied.
     pub(crate) fault_active: Vec<bool>,
     /// Per-spec remaining budget for count-limited faults (`u64::MAX` for
-    /// window-only kinds).
-    pub(crate) fault_budget: Vec<u64>,
+    /// window-only kinds). Atomic so the sharded component passes can
+    /// decrement through a shared borrow; every counter still has exactly
+    /// one consumer per edge (each spec targets a single node), so the
+    /// values are deterministic.
+    pub(crate) fault_budget: Vec<std::sync::atomic::AtomicU64>,
     /// Messages held back by an active `NocReorder` fault:
     /// `(spec index, eject node, message)`.
     pub(crate) reorder_stash: Vec<(usize, NodeId, duet_noc::Message<DuetMsg>)>,
@@ -124,6 +131,26 @@ pub struct System {
     /// last changed.
     pub(crate) watchdog_sig: u64,
     pub(crate) watchdog_since: Time,
+
+    // ----- intra-run parallel simulation (parallel) -----
+    /// Effective shard count for the fast-edge component passes
+    /// (resolved from `cfg.sim_threads` / `DUET_SIM_THREADS` at wiring).
+    pub(crate) sim_shards: usize,
+    /// Contiguous weight-balanced partition of the node range; always at
+    /// least one shard covering every node.
+    pub(crate) shard_plan: Vec<crate::parallel::ShardSpec>,
+    /// Per-shard output lanes (deferred MMIOs, pipe accounting), replayed
+    /// in shard order after the passes.
+    pub(crate) shard_lanes: Vec<crate::parallel::ShardLane>,
+    /// Persistent worker threads, spawned lazily on the first pooled pass.
+    pub(crate) shard_pool: Option<crate::parallel::ShardPool>,
+    /// Whether multi-shard passes may use real worker threads (host has
+    /// parallelism, or `DUET_SIM_FORCE_THREADS=1`); otherwise the sharded
+    /// schedule runs inline on the coordinator.
+    pub(crate) pool_enabled: bool,
+    /// Per-shard trace scratch rings, built lazily while tracing is on
+    /// and invalidated by [`enable_tracing`](System::enable_tracing).
+    pub(crate) trace_scratch: Option<crate::parallel::TraceScratch>,
 }
 
 impl System {
@@ -163,6 +190,10 @@ impl System {
         if let Some(a) = self.adapter.as_mut() {
             a.set_fabric_tracer(self.accel_tracer.clone());
         }
+        // The scratch rings cache clones of the per-component tracers, so
+        // a new session invalidates them (rebuilt lazily on the next
+        // sharded pass).
+        self.trace_scratch = None;
         self.trace = Some(session);
     }
 

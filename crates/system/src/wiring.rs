@@ -80,7 +80,8 @@ impl System {
             Vec::new()
         };
         // Count-limited faults get their budget up front; window-only
-        // kinds are effectively unbudgeted.
+        // kinds are effectively unbudgeted. Atomic cells so the sharded
+        // component passes can decrement through a shared borrow.
         let fault_budget = cfg
             .faults
             .specs
@@ -91,7 +92,18 @@ impl System {
                 | duet_verify::FaultKind::L3RespDrop { count, .. } => u64::from(count),
                 _ => u64::MAX,
             })
+            .map(std::sync::atomic::AtomicU64::new)
             .collect();
+        // Intra-run parallelism: partition the node range into
+        // weight-balanced contiguous shards; one shard reproduces the
+        // classic serial loop through the same code path.
+        let sim_shards = crate::parallel::resolve_sim_shards(cfg.sim_threads, nodes);
+        let shard_plan = crate::parallel::build_shard_plan(&node_roles, cfg.processors, sim_shards);
+        let sim_shards = shard_plan.len();
+        let shard_lanes = (0..sim_shards)
+            .map(|_| crate::parallel::ShardLane::default())
+            .collect();
+        let pool_enabled = sim_shards > 1 && crate::parallel::want_worker_threads();
         Ok(System {
             dual: DualClock::new(cfg.clock, cfg.fpga_clock()),
             mesh: Mesh::new(mesh_cfg),
@@ -103,6 +115,7 @@ impl System {
             home,
             inject_pending: (0..nodes).map(|_| Link::pipe()).collect(),
             inject_pending_total: 0,
+            inject_dirty: duet_noc::DirtyNodes::new(),
             core_held: vec![None; cfg.processors],
             node_roles,
             mmio_ids: duet_sim::IdSlab::new(),
@@ -132,6 +145,12 @@ impl System {
             accel_fenced: false,
             watchdog_sig: 0,
             watchdog_since: Time::ZERO,
+            sim_shards,
+            shard_plan,
+            shard_lanes,
+            shard_pool: None,
+            pool_enabled,
+            trace_scratch: None,
             cfg,
         })
     }

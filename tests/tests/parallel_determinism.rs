@@ -1,0 +1,456 @@
+//! Sharded-run determinism: the intra-run parallel fast edge must be
+//! byte-identical to the serial loop for every workload, shard count,
+//! scheduling mode, tracing mode, and fault plan.
+//!
+//! Every cell of {workload} × {1, 2, 4 sim threads} × {edge-skip on/off}
+//! × {trace on/off} is compared against the 1-thread serial baseline on
+//! three axes:
+//!
+//! 1. the full run fingerprint (halt/quiesce times, every statistics
+//!    block, per-link movement counters, observed memory words),
+//! 2. the complete `MetricsRegistry` dump (minus the counters that
+//!    legitimately differ across *scheduling* modes: process-wide
+//!    atomics, executed-edge counts, rejected-push attempt counters),
+//! 3. with tracing on, the rendered text log — per-shard scratch rings
+//!    must merge into exactly the serial event order.
+//!
+//! A separate cell re-runs a faulted workload (NoC delay + reorder +
+//! drop, L3 stall + drop) across shard counts: fault windows are pure
+//! functions of simulated time and fault budgets have one consumer per
+//! edge, so even `RunError` outcomes must render identically.
+//!
+//! On multi-CPU hosts multi-shard cells use the worker pool
+//! automatically; `force_real_worker_threads` pins that path explicitly
+//! via `DUET_SIM_FORCE_THREADS=1` so single-CPU CI exercises the barrier
+//! protocol too.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use duet_cpu::asm::Asm;
+use duet_cpu::isa::regs;
+use duet_sim::Time;
+use duet_system::{FaultKind, FaultPlan, FaultSpec, System, SystemConfig};
+use duet_trace::TraceConfig;
+use duet_workloads::popcount::PopcountAccel;
+
+/// Serializes the tests that read or mutate process environment around
+/// `System::new` (`DUET_SIM_THREADS`, `DUET_SIM_FORCE_THREADS`), so the
+/// explicit env-override assertions can't race the matrix cells.
+fn env_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+// ----- workloads (each takes the sim-thread count to configure) -----
+
+/// Producer/consumer over shared memory on two cores: coherence traffic
+/// with long spin phases, so skip gating and stall reconstruction run
+/// inside the sharded passes.
+fn message_passing(threads: usize) -> System {
+    let mut cfg = SystemConfig::proc_only(2);
+    cfg.sim_threads = threads;
+    let mut sys = System::new(cfg).expect("valid config");
+    let iters = 12i64;
+    let mut a = Asm::new();
+    a.label("producer");
+    let (data, flag, i) = (regs::S[0], regs::S[1], regs::S[2]);
+    a.li(data, 0x1000);
+    a.li(flag, 0x2000);
+    a.li(i, 1);
+    a.label("p_loop");
+    a.li(regs::T[0], 1000);
+    a.mul(regs::T[1], i, regs::T[0]);
+    a.sd(regs::T[1], data, 0);
+    a.fence();
+    a.sd(i, flag, 0);
+    a.addi(i, i, 1);
+    a.li(regs::T[2], iters + 1);
+    a.blt(i, regs::T[2], "p_loop");
+    a.halt();
+    a.label("consumer");
+    a.li(data, 0x1000);
+    a.li(flag, 0x2000);
+    a.li(i, 1);
+    a.li(regs::S[3], 0x3000);
+    a.label("spin");
+    a.ld(regs::T[0], flag, 0);
+    a.blt(regs::T[0], i, "spin");
+    a.ld(regs::T[1], data, 0);
+    a.li(regs::T[2], 1000);
+    a.mul(regs::T[3], i, regs::T[2]);
+    a.bge(regs::T[1], regs::T[3], "ok");
+    a.li(regs::T[4], 1);
+    a.sd(regs::T[4], regs::S[3], 0);
+    a.label("ok");
+    a.addi(i, i, 1);
+    a.li(regs::T[5], iters + 1);
+    a.blt(i, regs::T[5], "spin");
+    a.fence();
+    a.halt();
+    let prog = Arc::new(a.assemble().expect("static program"));
+    sys.load_program(0, prog.clone(), "producer");
+    sys.load_program(1, prog, "consumer");
+    sys
+}
+
+/// Four cores hammering one line with fetch-and-add: maximal cross-shard
+/// coherence contention, no idle phases.
+fn amoadd(threads: usize) -> System {
+    let mut cfg = SystemConfig::proc_only(4);
+    cfg.sim_threads = threads;
+    amoadd_with(cfg)
+}
+
+fn amoadd_with(cfg: SystemConfig) -> System {
+    let mut sys = System::new(cfg).expect("valid config");
+    let mut a = Asm::new();
+    a.label("main");
+    a.li(regs::T[0], 0x7000);
+    a.li(regs::S[0], 0);
+    a.label("loop");
+    a.li(regs::T[1], 1);
+    a.amoadd(regs::T[2], regs::T[0], regs::T[1]);
+    a.addi(regs::S[0], regs::S[0], 1);
+    a.li(regs::T[3], 15);
+    a.blt(regs::S[0], regs::T[3], "loop");
+    a.halt();
+    let prog = Arc::new(a.assemble().expect("static program"));
+    for c in 0..4 {
+        sys.load_program(c, prog.clone(), "main");
+    }
+    sys
+}
+
+/// The quickstart popcount on Dolly-P1M1: the serial adapter pass, MMIO
+/// deferral through the shard lanes, and the slow clock domain.
+fn popcount(threads: usize) -> System {
+    use duet_core::RegMode;
+    let mut cfg = SystemConfig::dolly(1, 1, 189.0);
+    cfg.sim_threads = threads;
+    let mut sys = System::new(cfg).expect("valid config");
+    sys.set_reg_mode(0, RegMode::FpgaBound);
+    sys.set_reg_mode(1, RegMode::CpuBound);
+    sys.attach_accelerator(Box::new(PopcountAccel::new(true)));
+    let vec_addr = 0x1_0000u64;
+    let data: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+    sys.poke_bytes(vec_addr, &data);
+    let mmio = sys.config().mmio_base;
+    let mut a = Asm::new();
+    a.label("main");
+    a.li(regs::T[0], mmio as i64);
+    a.li(regs::T[1], vec_addr as i64);
+    a.sd(regs::T[1], regs::T[0], 0);
+    a.ld(regs::T[2], regs::T[0], 8);
+    a.li(regs::T[3], 0x2_0000);
+    a.sd(regs::T[2], regs::T[3], 0);
+    a.fence();
+    a.halt();
+    sys.load_program(0, Arc::new(a.assemble().expect("static program")), "main");
+    sys
+}
+
+/// FPSoC variant: slow-domain hubs behind CDC FIFOs, awkward clock ratio.
+fn fpsoc_slow_hubs(threads: usize) -> System {
+    let mut cfg = SystemConfig::fpsoc(2, 1, 137.0);
+    cfg.sim_threads = threads;
+    let mut sys = System::new(cfg).expect("valid config");
+    let mut a = Asm::new();
+    a.label("main");
+    a.li(regs::T[0], 0x4000);
+    a.li(regs::T[1], 0);
+    a.label("loop");
+    a.sd(regs::T[1], regs::T[0], 0);
+    a.ld(regs::T[2], regs::T[0], 0);
+    a.addi(regs::T[1], regs::T[1], 1);
+    a.slti(regs::T[3], regs::T[1], 60);
+    a.bnez(regs::T[3], "loop");
+    a.fence();
+    a.halt();
+    let prog = Arc::new(a.assemble().expect("static program"));
+    sys.load_program(0, prog.clone(), "main");
+    sys.load_program(1, prog, "main");
+    sys
+}
+
+// ----- the comparable record of one run -----
+
+/// Fingerprint + metrics dump + optional trace rendering for one cell.
+struct Cell {
+    fp: String,
+    metrics: String,
+    trace_log: Option<String>,
+}
+
+/// Everything observable about a finished run, as one comparable string
+/// (the engine-determinism fingerprint, plus the outcome line so faulted
+/// runs that end in `RunError` compare too).
+fn fingerprint(sys: &System, outcome: &str, mem: &[(u64, usize)]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("outcome={outcome} now={}\n", sys.now()));
+    s.push_str(&format!("run={:?}\n", sys.stats()));
+    s.push_str(&format!("mesh={:?}\n", sys.mesh().stats()));
+    for i in 0..sys.config().processors {
+        s.push_str(&format!("core{i}={:?}\n", sys.core(i).stats()));
+        s.push_str(&format!("l2_{i}={:?}\n", sys.l2(i).stats()));
+    }
+    if sys.config().has_fpga {
+        let a = sys.adapter();
+        s.push_str(&format!("ctl={:?}\n", a.control.stats()));
+        for (h, hub) in a.hubs.iter().enumerate() {
+            s.push_str(&format!(
+                "hub{h}={:?} err={} active={}\n",
+                hub.stats(),
+                hub.error_code(),
+                hub.switches().active
+            ));
+        }
+    }
+    for (name, report) in sys.link_reports() {
+        let st = report.stats;
+        s.push_str(&format!(
+            "link[{name}] pushes={} pops={} peak={} hist={:?}\n",
+            st.pushes, st.pops, st.peak_occupancy, st.occupancy_hist
+        ));
+    }
+    for &(addr, words) in mem {
+        for k in 0..words as u64 {
+            s.push_str(&format!(
+                "m[{:#x}]={:#x}\n",
+                addr + 8 * k,
+                sys.peek_u64(addr + 8 * k)
+            ));
+        }
+    }
+    s
+}
+
+/// The registry dump, minus the counters that legitimately differ across
+/// scheduling modes (never across shard counts — but the matrix also
+/// crosses skip modes, which these counters track by design).
+fn metrics_dump(sys: &System) -> String {
+    let mut s = String::new();
+    for (name, value) in sys.metrics_registry().iter() {
+        if name.starts_with("process.") || name == "run.executed_edges" {
+            continue;
+        }
+        if name.starts_with("link.") && name.ends_with(".rejected_pushes") {
+            continue;
+        }
+        s.push_str(&format!("{name}={value}\n"));
+    }
+    s
+}
+
+/// Runs one cell to completion (or a rendered `RunError`).
+fn run_cell(
+    build: &dyn Fn(usize) -> System,
+    threads: usize,
+    skip: bool,
+    trace: bool,
+    halt_deadline: Time,
+    quiesce_deadline: Time,
+    mem: &[(u64, usize)],
+) -> Cell {
+    let mut sys = build(threads);
+    sys.set_edge_skipping(skip);
+    if trace {
+        sys.enable_tracing(&TraceConfig::default());
+    }
+    let outcome = match sys.run_until_halt(halt_deadline) {
+        Ok(halt) => {
+            let quiesced = sys
+                .quiesce(quiesce_deadline)
+                .unwrap_or_else(|e| panic!("halted run must quiesce: {e}"));
+            format!("ok halt={halt} quiesced={quiesced}")
+        }
+        Err(e) => format!("err[{e}]"),
+    };
+    Cell {
+        fp: fingerprint(&sys, &outcome, mem),
+        metrics: metrics_dump(&sys),
+        trace_log: sys.trace_text_log(),
+    }
+}
+
+/// Crosses one workload over {threads} × {skip} × {trace} and compares
+/// every cell to the serial (1-thread) baseline of the same skip mode.
+fn assert_shard_invariant(
+    label: &str,
+    build: &dyn Fn(usize) -> System,
+    halt_deadline: Time,
+    quiesce_deadline: Time,
+    mem: &[(u64, usize)],
+) {
+    let _guard = env_lock().lock().expect("env lock");
+    // This suite sweeps the thread axis itself; a CI-level
+    // `DUET_SIM_THREADS` export (used to push the *other* suites through
+    // the sharded path) would override every cell's config and collapse
+    // the axis to a single point.
+    std::env::remove_var("DUET_SIM_THREADS");
+    for skip in [true, false] {
+        for trace in [false, true] {
+            let base = run_cell(build, 1, skip, trace, halt_deadline, quiesce_deadline, mem);
+            if trace {
+                assert!(base.trace_log.is_some(), "{label}: tracing produced no log");
+            }
+            for threads in [2usize, 4] {
+                let cell = run_cell(
+                    build,
+                    threads,
+                    skip,
+                    trace,
+                    halt_deadline,
+                    quiesce_deadline,
+                    mem,
+                );
+                assert_eq!(
+                    base.fp, cell.fp,
+                    "{label}: fingerprint diverged at {threads} sim threads \
+                     (skip={skip}, trace={trace})"
+                );
+                assert_eq!(
+                    base.metrics, cell.metrics,
+                    "{label}: metrics registry diverged at {threads} sim threads \
+                     (skip={skip}, trace={trace})"
+                );
+                assert_eq!(
+                    base.trace_log, cell.trace_log,
+                    "{label}: trace log diverged at {threads} sim threads (skip={skip})"
+                );
+            }
+        }
+    }
+}
+
+// ----- the matrix -----
+
+#[test]
+fn message_passing_is_shard_invariant() {
+    assert_shard_invariant(
+        "message_passing",
+        &message_passing,
+        Time::from_us(10_000),
+        Time::from_us(11_000),
+        &[(0x1000, 1), (0x2000, 1), (0x3000, 1)],
+    );
+}
+
+#[test]
+fn amoadd_is_shard_invariant() {
+    assert_shard_invariant(
+        "amoadd",
+        &amoadd,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+}
+
+#[test]
+fn popcount_accelerator_is_shard_invariant() {
+    assert_shard_invariant(
+        "popcount",
+        &popcount,
+        Time::from_us(1_000),
+        Time::from_us(2_000),
+        &[(0x2_0000, 1)],
+    );
+}
+
+#[test]
+fn fpsoc_slow_hubs_is_shard_invariant() {
+    assert_shard_invariant(
+        "fpsoc_slow_hubs",
+        &fpsoc_slow_hubs,
+        Time::from_us(1_000),
+        Time::from_us(2_000),
+        &[(0x4000, 1)],
+    );
+}
+
+/// An active fault plan crossing every shard-intercepted kind: delays and
+/// stalls (window-only), plus budgeted reorder and drops. Budgets live in
+/// atomics with one consumer per edge, windows are pure functions of sim
+/// time — so the cells must agree even when the outcome is a `RunError`.
+#[test]
+fn faulted_run_is_shard_invariant() {
+    let window = |kind, from_us: u64, until_us: u64| FaultSpec {
+        kind,
+        from: Time::from_us(from_us),
+        until: Time::from_us(until_us),
+    };
+    let plan = FaultPlan::empty()
+        .with(window(FaultKind::NocDelay { node: 0 }, 0, 20))
+        .with(window(FaultKind::L3RespStall { node: 1 }, 10, 40))
+        .with(window(FaultKind::NocReorder { node: 2, count: 1 }, 0, 200))
+        .with(window(FaultKind::L3RespDrop { node: 3, count: 1 }, 0, 100));
+    let build = move |threads: usize| {
+        let mut cfg = SystemConfig::proc_only(4);
+        cfg.sim_threads = threads;
+        cfg.faults = plan.clone();
+        amoadd_with(cfg)
+    };
+    assert_shard_invariant(
+        "amoadd+faults",
+        &build,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+}
+
+/// Pins the real worker-thread path (pool + epoch barrier) regardless of
+/// host CPU count, and compares it against the serial baseline.
+#[test]
+fn force_real_worker_threads_matches_serial() {
+    let _guard = env_lock().lock().expect("env lock");
+    std::env::remove_var("DUET_SIM_THREADS");
+    std::env::set_var("DUET_SIM_FORCE_THREADS", "1");
+    let pooled = run_cell(
+        &amoadd,
+        4,
+        true,
+        true,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+    std::env::remove_var("DUET_SIM_FORCE_THREADS");
+    let serial = run_cell(
+        &amoadd,
+        1,
+        true,
+        true,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+    assert_eq!(serial.fp, pooled.fp, "worker pool diverged from serial");
+    assert_eq!(serial.metrics, pooled.metrics);
+    assert_eq!(serial.trace_log, pooled.trace_log);
+}
+
+/// `DUET_SIM_THREADS` overrides the config, `0` means auto, and the
+/// resolved count is clamped to the node count.
+#[test]
+fn env_var_overrides_configured_threads() {
+    let _guard = env_lock().lock().expect("env lock");
+    std::env::set_var("DUET_SIM_THREADS", "3");
+    let sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
+    assert_eq!(sys.sim_shards(), 3, "env override ignored");
+    std::env::set_var("DUET_SIM_THREADS", "64");
+    let sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
+    assert!(
+        sys.sim_shards() <= 2,
+        "shard count must be clamped to the node count, got {}",
+        sys.sim_shards()
+    );
+    std::env::set_var("DUET_SIM_THREADS", "0");
+    let sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
+    assert!(sys.sim_shards() >= 1, "auto must resolve to at least 1");
+    std::env::remove_var("DUET_SIM_THREADS");
+    let mut cfg = SystemConfig::proc_only(4);
+    cfg.sim_threads = 2;
+    let sys = System::new(cfg).expect("valid config");
+    assert_eq!(sys.sim_shards(), 2, "config sim_threads ignored");
+}
