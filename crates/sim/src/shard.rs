@@ -15,9 +15,9 @@
 //! produced at edge *k* can be consumed at edge *k+1* — shards therefore
 //! synchronize every executed edge, and the event-horizon scheduler keeps
 //! the edge count itself low. [`EpochBarrier`] makes that per-edge
-//! synchronization cheap: an epoch open is one release store, and workers
-//! spin briefly before yielding (and eventually parking on a condvar, so
-//! an idle pool costs nothing between runs).
+//! synchronization cheap: an epoch open is one atomic store plus one
+//! load, and workers spin briefly before yielding (and eventually parking
+//! on a condvar, so an idle pool costs nothing between runs).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -64,15 +64,17 @@ pub fn partition_balanced(weights: &[u64], parts: usize) -> Vec<std::ops::Range<
 /// coordinator and `workers` persistent worker threads.
 ///
 /// Per epoch: the coordinator publishes work, calls
-/// [`open`](EpochBarrier::open) (one release store plus a conditional
-/// wake), does its own share, then [`wait_done`](EpochBarrier::wait_done).
+/// [`open`](EpochBarrier::open) (one store plus a conditional wake),
+/// does its own share, then [`wait_done`](EpochBarrier::wait_done).
 /// Workers block in [`wait_open`](EpochBarrier::wait_open) — spinning
 /// briefly, then yielding, then parking on a condvar so an idle pool
 /// burns no CPU — and report with [`finish`](EpochBarrier::finish).
 ///
-/// The barrier carries no payload; release/acquire ordering on the epoch
-/// and done counters makes everything written before `open` visible to
-/// workers, and everything workers wrote visible after `wait_done`.
+/// The barrier carries no payload; the ordering on the epoch and done
+/// counters (SeqCst publish — see [`open`](EpochBarrier::open) — and
+/// release/acquire completion) makes everything written before `open`
+/// visible to workers, and everything workers wrote visible after
+/// `wait_done`.
 #[derive(Debug)]
 pub struct EpochBarrier {
     epoch: AtomicU64,
@@ -111,7 +113,15 @@ impl EpochBarrier {
     /// coordinator wrote before this call is visible to workers returning
     /// from [`wait_open`](EpochBarrier::wait_open).
     pub fn open(&self, epoch: u64) {
-        self.epoch.store(epoch, Ordering::Release);
+        // Store-buffer (Dekker) pattern against a parking worker, which
+        // does `sleepers.fetch_add(SeqCst)` and then re-checks the epoch
+        // before waiting on the condvar. All four accesses must be SeqCst:
+        // in the single total order that gives, the coordinator reading
+        // `sleepers == 0` (skipping the notify) while the worker reads the
+        // stale epoch (and parks) is impossible. A Release store here
+        // could be reordered after the `sleepers` load (StoreLoad — legal
+        // even on x86), losing the wakeup and hanging `wait_done`.
+        self.epoch.store(epoch, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _g = self.lock.lock().unwrap();
             self.cv.notify_all();
@@ -122,7 +132,11 @@ impl EpochBarrier {
         if self.quit.load(Ordering::Acquire) {
             return Some(None);
         }
-        let e = self.epoch.load(Ordering::Acquire);
+        // SeqCst pairs with the SeqCst publish in `open` — see the
+        // store-buffer note there. (On the spin path plain Acquire would
+        // do, but a SeqCst load costs the same on the hot architectures
+        // and keeps one ordering story for every reader.)
+        let e = self.epoch.load(Ordering::SeqCst);
         if e > last_seen {
             return Some(Some(e));
         }
@@ -254,6 +268,38 @@ mod tests {
             for h in hits.iter() {
                 assert_eq!(h.load(Ordering::SeqCst), ep, "lockstep at epoch {ep}");
             }
+        }
+        barrier.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// Regression test for the lost-wakeup race: pause long enough before
+    /// each `open` that workers exhaust their spin/yield budget and park
+    /// on the condvar, so every epoch must actually wake a sleeper. With
+    /// a non-SeqCst epoch publish this hangs (coordinator misses the
+    /// sleeper, worker misses the epoch) rather than failing an assert.
+    #[test]
+    fn barrier_wakes_parked_workers() {
+        let workers = 2;
+        let barrier = Arc::new(EpochBarrier::new(workers));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while let Some(ep) = b.wait_open(last) {
+                        last = ep;
+                        b.finish(w, ep);
+                    }
+                })
+            })
+            .collect();
+        for ep in 1..=30u64 {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            barrier.open(ep);
+            barrier.wait_done(ep);
         }
         barrier.shutdown();
         for h in handles {

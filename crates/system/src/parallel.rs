@@ -49,7 +49,9 @@
 //! and scratch tracing are exercised even without threads);
 //! `DUET_SIM_FORCE_THREADS=1` forces real workers regardless.
 
+use std::any::Any;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -383,6 +385,12 @@ fn assert_shard_payloads_thread_safe() {
 /// concurrently-running view, with no other access to that storage until
 /// the epoch closes (see [`RawShardView`]).
 unsafe fn run_raw(v: RawShardView) {
+    // Test-only poison sentinel: lets the pool tests force a shard panic
+    // without building a full component graph.
+    #[cfg(test)]
+    if v.node0 == usize::MAX {
+        panic!("poisoned test shard");
+    }
     let mut ctx = ShardCtx {
         now: v.now,
         gate: v.gate,
@@ -408,6 +416,9 @@ unsafe fn run_raw(v: RawShardView) {
 pub(crate) struct ShardPool {
     barrier: Arc<EpochBarrier>,
     views: Arc<Mutex<Vec<Option<RawShardView>>>>,
+    /// First panic payload caught on a worker thread, re-raised by
+    /// `run_epoch` on the coordinator once the epoch has closed.
+    panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
     handles: Vec<JoinHandle<()>>,
     epoch: u64,
 }
@@ -417,13 +428,15 @@ impl ShardPool {
     pub(crate) fn new(workers: usize) -> Self {
         let barrier = Arc::new(EpochBarrier::new(workers));
         let views: Arc<Mutex<Vec<Option<RawShardView>>>> = Arc::new(Mutex::new(Vec::new()));
+        let panic: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
         let handles = (0..workers)
             .map(|w| {
                 let b = Arc::clone(&barrier);
                 let v = Arc::clone(&views);
+                let p = Arc::clone(&panic);
                 let spawned = std::thread::Builder::new()
                     .name(format!("duet-shard-{}", w + 1))
-                    .spawn(move || worker_main(w, b, v));
+                    .spawn(move || worker_main(w, b, v, p));
                 match spawned {
                     Ok(h) => h,
                     Err(e) => panic!("failed to spawn shard worker {w}: {e}"),
@@ -433,6 +446,7 @@ impl ShardPool {
         ShardPool {
             barrier,
             views,
+            panic,
             handles,
             epoch: 0,
         }
@@ -440,6 +454,12 @@ impl ShardPool {
 
     /// Runs one epoch: publishes `views[1..]` to the workers, runs
     /// `views[0]` on the calling thread, and joins at the barrier.
+    ///
+    /// A panic inside any shard — worker or coordinator — is deferred
+    /// until the barrier has closed (every view dropped, no worker left
+    /// holding aliases into `System`) and then resumed here, so component
+    /// panics surface exactly like the serial loop's instead of
+    /// deadlocking `wait_done`.
     pub(crate) fn run_epoch(&mut self, mut views: Vec<RawShardView>) {
         debug_assert_eq!(views.len(), self.barrier.workers() + 1);
         let mine = views.remove(0);
@@ -451,8 +471,14 @@ impl ShardPool {
         self.epoch += 1;
         self.barrier.open(self.epoch);
         // SAFETY: shard 0's range is disjoint from every published view.
-        unsafe { run_raw(mine) };
+        let mine_result = catch_unwind(AssertUnwindSafe(|| unsafe { run_raw(mine) }));
         self.barrier.wait_done(self.epoch);
+        if let Some(payload) = lock_ignore_poison(&self.panic).take() {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = mine_result {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -465,7 +491,12 @@ impl Drop for ShardPool {
     }
 }
 
-fn worker_main(w: usize, barrier: Arc<EpochBarrier>, views: Arc<Mutex<Vec<Option<RawShardView>>>>) {
+fn worker_main(
+    w: usize,
+    barrier: Arc<EpochBarrier>,
+    views: Arc<Mutex<Vec<Option<RawShardView>>>>,
+    panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+) {
     let mut last = 0u64;
     while let Some(epoch) = barrier.wait_open(last) {
         last = epoch;
@@ -473,7 +504,13 @@ fn worker_main(w: usize, barrier: Arc<EpochBarrier>, views: Arc<Mutex<Vec<Option
         if let Some(v) = view {
             // SAFETY: the coordinator published disjoint ranges for this
             // epoch and touches none of them until `wait_done` returns.
-            unsafe { run_raw(v) };
+            // A shard panic must not unwind past `finish` below — the
+            // coordinator would spin in `wait_done` forever — so catch
+            // it here; `run_epoch` re-raises the recorded payload on the
+            // coordinator after the epoch closes.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe { run_raw(v) })) {
+                lock_ignore_poison(&panic).get_or_insert(payload);
+            }
         }
         barrier.finish(w, epoch);
     }
@@ -701,5 +738,92 @@ impl System {
         for b in &ts.l3_bufs {
             lock_ignore_poison(b).take_into(&mut main);
         }
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+    use std::ptr::NonNull;
+
+    /// A zero-length view: dangling-but-aligned pointers are valid for
+    /// empty slices, so `run_raw` builds a `ShardCtx` that does nothing.
+    /// `poison` flips the test-only sentinel that makes `run_raw` panic
+    /// before touching anything.
+    fn empty_view(cfg: &SystemConfig, lane: &mut ShardLane, poison: bool) -> RawShardView {
+        RawShardView {
+            now: Time::ZERO,
+            gate: false,
+            faulted: false,
+            node0: if poison { usize::MAX } else { 0 },
+            core0: 0,
+            ncores: 0,
+            nnodes: 0,
+            cfg: cfg as *const SystemConfig,
+            cores: NonNull::dangling().as_ptr(),
+            l2s: NonNull::dangling().as_ptr(),
+            l3s: NonNull::dangling().as_ptr(),
+            core_held: NonNull::dangling().as_ptr(),
+            pipes: NonNull::dangling().as_ptr(),
+            budget: NonNull::dangling().as_ptr(),
+            budget_len: 0,
+            lane: std::ptr::from_mut(lane),
+        }
+    }
+
+    /// A panic on a worker shard must re-raise on the coordinator after
+    /// the epoch closes — not unwind past `finish` and leave `wait_done`
+    /// spinning forever — and the pool must stay usable afterwards.
+    #[test]
+    fn worker_panic_resurfaces_on_coordinator_without_deadlock() {
+        let cfg = SystemConfig::proc_only(1);
+        let mut pool = ShardPool::new(1);
+        let mut lane0 = ShardLane::default();
+        let mut lane1 = ShardLane::default();
+        let views = vec![
+            empty_view(&cfg, &mut lane0, false),
+            empty_view(&cfg, &mut lane1, true),
+        ];
+        let payload = catch_unwind(AssertUnwindSafe(|| pool.run_epoch(views)))
+            .expect_err("worker panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("poisoned test shard")
+        );
+        let mut lane0 = ShardLane::default();
+        let mut lane1 = ShardLane::default();
+        let views = vec![
+            empty_view(&cfg, &mut lane0, false),
+            empty_view(&cfg, &mut lane1, false),
+        ];
+        pool.run_epoch(views);
+    }
+
+    /// Same for a panic on the coordinator's own shard: `wait_done` must
+    /// still run (workers may hold views into `System`) before the panic
+    /// resumes.
+    #[test]
+    fn coordinator_panic_still_closes_the_epoch() {
+        let cfg = SystemConfig::proc_only(1);
+        let mut pool = ShardPool::new(1);
+        let mut lane0 = ShardLane::default();
+        let mut lane1 = ShardLane::default();
+        let views = vec![
+            empty_view(&cfg, &mut lane0, true),
+            empty_view(&cfg, &mut lane1, false),
+        ];
+        let payload = catch_unwind(AssertUnwindSafe(|| pool.run_epoch(views)))
+            .expect_err("coordinator panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("poisoned test shard")
+        );
+        let mut lane0 = ShardLane::default();
+        let mut lane1 = ShardLane::default();
+        let views = vec![
+            empty_view(&cfg, &mut lane0, false),
+            empty_view(&cfg, &mut lane1, false),
+        ];
+        pool.run_epoch(views);
     }
 }
