@@ -18,12 +18,18 @@
 //!    worker each — sweep workers multiply with intra-run threads, so
 //!    the smoke run keeps the product equal to the sim-thread count.
 //!
-//! Results land in `BENCH_pr6.json` (repo root by default, or the path
+//! 4. **snapshot costs** — serialized snapshot size plus `snapshot()`,
+//!    `restore()`, and `fork()` wall time for the `proc_only_4`,
+//!    `mesh_8x8`, and `mesh_16x16` presets (warmed 500 ns), recorded
+//!    under the `snapshot` key.
+//!
+//! Results land in `BENCH_pr7.json` (repo root by default, or the path
 //! given as the first non-flag argument) as edges/sec per scenario —
 //! scalar for the single-config scenarios, a `threads` map for the
-//! scaling ones. The file is committed so the perf record survives
-//! in-tree; CI regenerates it on every push to catch harness rot and big
-//! regressions.
+//! scaling ones — plus the `snapshot` cost table (schema
+//! `duet-bench-smoke-v3`). The file is committed so the perf record
+//! survives in-tree; CI regenerates it on every push to catch harness
+//! rot and big regressions.
 //!
 //! Run: `cargo run --release -p duet-bench --bin bench_smoke [out.json]`
 
@@ -140,6 +146,88 @@ fn noc_hotspot_edges_per_sec(mut cfg: SystemConfig, threads: usize) -> (f64, Tim
     ((edges as f64 / wall), end)
 }
 
+/// Snapshot-layer costs for one preset: serialized size plus wall time
+/// for `snapshot()`, `restore()` (into a freshly built system), and
+/// `fork()`. Timings are the minimum over three iterations — a smoke
+/// record tracks the trajectory, not a rigorous benchmark.
+struct SnapshotCosts {
+    snapshot_bytes: usize,
+    snapshot_ms: f64,
+    restore_ms: f64,
+    fork_ms: f64,
+}
+
+/// Measures [`SnapshotCosts`] on a warmed instance of `build()`: run to
+/// `warm`, snapshot, restore into a second fresh instance, fork.
+fn snapshot_costs(name: &str, build: &dyn Fn() -> System, warm: Time) -> SnapshotCosts {
+    let mut sys = build();
+    sys.run_until_time(warm);
+    let mut costs = SnapshotCosts {
+        snapshot_bytes: sys.snapshot().len(),
+        snapshot_ms: f64::INFINITY,
+        restore_ms: f64::INFINITY,
+        fork_ms: f64::INFINITY,
+    };
+    for _ in 0..3 {
+        let start = Instant::now();
+        let bytes = sys.snapshot();
+        costs.snapshot_ms = costs.snapshot_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let mut fresh = build();
+        let start = Instant::now();
+        fresh
+            .restore(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: self-restore failed: {e}"));
+        costs.restore_ms = costs.restore_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let child = sys.fork();
+        costs.fork_ms = costs.fork_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        drop(child);
+    }
+    println!(
+        "# {name} snapshot: {} bytes, snapshot {:.3} ms, restore {:.3} ms, fork {:.3} ms",
+        costs.snapshot_bytes, costs.snapshot_ms, costs.restore_ms, costs.fork_ms
+    );
+    costs
+}
+
+/// The snapshot-cost presets: the coherence-heavy 4-core scenario and the
+/// two mesh hotspots, each warmed briefly so caches, NoC queues, and the
+/// backing store carry real state.
+fn snapshot_costs_sweep() -> Vec<(&'static str, SnapshotCosts)> {
+    let stream = {
+        let mut a = duet_cpu::asm::Asm::new();
+        a.label("main");
+        a.li(duet_cpu::isa::regs::T[0], 0x10_0000);
+        a.li(duet_cpu::isa::regs::T[2], 0x10_0000 + 0x1_0000);
+        a.label("loop");
+        a.sd(duet_cpu::isa::regs::T[1], duet_cpu::isa::regs::T[0], 0);
+        a.addi(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[0], 16);
+        a.blt(duet_cpu::isa::regs::T[0], duet_cpu::isa::regs::T[2], "loop");
+        a.halt();
+        Arc::new(a.assemble().expect("static program assembles"))
+    };
+    let build_preset = |cfg: SystemConfig, prog: &Arc<duet_cpu::Program>| {
+        let mut sys = System::new(cfg).expect("valid config");
+        for core in 0..sys.config().processors {
+            sys.load_program(core, prog.clone(), "main");
+        }
+        sys
+    };
+    let mut out = Vec::new();
+    for (name, cfg) in [
+        ("proc_only_4", SystemConfig::proc_only(4)),
+        ("mesh_8x8", SystemConfig::mesh_8x8()),
+        ("mesh_16x16", SystemConfig::mesh_16x16()),
+    ] {
+        let prog = stream.clone();
+        let build = move || build_preset(cfg.clone(), &prog);
+        out.push((name, snapshot_costs(name, &build, Time::from_ns(500))));
+    }
+    out
+}
+
 /// Sweeps a hotspot scenario over simulation-thread counts. Each cell
 /// runs alone (one sweep worker): sweep × intra-run threads multiply.
 fn noc_hotspot_sweep(name: &str, cfg: &SystemConfig) -> Vec<(usize, f64)> {
@@ -174,12 +262,13 @@ fn main() -> std::io::Result<()> {
             out_path = Some(a);
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr7.json".to_string());
 
     let fig9 = fig9_edges_per_sec();
     let stream = stream_stores_edges_per_sec();
     let hotspot_8 = noc_hotspot_sweep("noc_hotspot_8x8", &SystemConfig::mesh_8x8());
     let hotspot_16 = noc_hotspot_sweep("noc_hotspot_16x16", &SystemConfig::mesh_16x16());
+    let snapshots = snapshot_costs_sweep();
 
     // Hand-rolled JSON: two decimal places of mantissa are plenty for a
     // trajectory record, and no serde dependency is needed.
@@ -190,7 +279,7 @@ fn main() -> std::io::Result<()> {
             .collect();
         format!("{{ \"threads\": {{ {} }} }}", cells.join(", "))
     };
-    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v2\",\n");
+    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v3\",\n");
     body.push_str("  \"unit\": \"edges_per_sec\",\n  \"scenarios\": {\n");
     if let Some(f) = fig9 {
         body.push_str(&format!("    \"fig9_latency_sweep\": {f:.3e},\n"));
@@ -203,9 +292,22 @@ fn main() -> std::io::Result<()> {
         fmt_threads(&hotspot_8)
     ));
     body.push_str(&format!(
-        "    \"noc_hotspot_16x16\": {}\n  }}\n}}\n",
+        "    \"noc_hotspot_16x16\": {}\n  }},\n",
         fmt_threads(&hotspot_16)
     ));
+    body.push_str("  \"snapshot\": {\n");
+    let cells: Vec<String> = snapshots
+        .iter()
+        .map(|(name, c)| {
+            format!(
+                "    \"{name}\": {{ \"snapshot_bytes\": {}, \"snapshot_ms\": {:.3}, \
+                 \"restore_ms\": {:.3}, \"fork_ms\": {:.3} }}",
+                c.snapshot_bytes, c.snapshot_ms, c.restore_ms, c.fork_ms
+            )
+        })
+        .collect();
+    body.push_str(&cells.join(",\n"));
+    body.push_str("\n  }\n}\n");
     // A full disk or bad path is a clean error for CI to show, not a panic.
     std::fs::write(&out_path, &body).map_err(|e| {
         std::io::Error::new(e.kind(), format!("writing bench json to {out_path}: {e}"))

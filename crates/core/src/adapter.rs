@@ -34,6 +34,7 @@ pub struct AdapterConfig {
 }
 
 /// The Duet Adapter. See module docs.
+#[derive(Clone)]
 pub struct DuetAdapter {
     cfg: AdapterConfig,
     /// The Control Hub (C-tile).
@@ -88,6 +89,18 @@ impl DuetAdapter {
     /// fabric-side ports (fabric request/response events).
     pub fn set_fabric_tracer(&mut self, fabric: Tracer) {
         self.fabric_tracer = fabric;
+    }
+
+    /// Resets every trace handle in the adapter (control hub, memory hubs,
+    /// proxies, fabric ports) to disabled. Used when forking a system: the
+    /// child must not share the parent's trace session.
+    pub fn clear_tracers(&mut self) {
+        self.control.set_tracer(Tracer::disabled());
+        for hub in &mut self.hubs {
+            hub.set_tracer(Tracer::disabled());
+            hub.set_proxy_tracer(Tracer::disabled());
+        }
+        self.fabric_tracer = Tracer::disabled();
     }
 
     /// The adapter's configuration.
@@ -359,6 +372,39 @@ impl DuetAdapter {
     /// may wake it.
     pub fn fabric_input_pending(&self) -> bool {
         self.control.fabric_input_pending() || self.hubs.iter().any(|h| h.fabric_resp_pending())
+    }
+}
+
+mod snap_impls {
+    use duet_sim::{Pack, Snap, SnapError, SnapReader, SnapWriter};
+
+    use super::{Clock, DuetAdapter};
+
+    impl Snap for DuetAdapter {
+        /// The eFPGA clock is state (software can reprogram it mid-run), so
+        /// it is saved before the hubs; each CDC link additionally carries
+        /// its own clocks inside its own section of state. Tracer handles
+        /// are re-installed by the owning system.
+        fn save(&self, w: &mut SnapWriter) {
+            self.fpga_clock.pack(w);
+            self.control.save(w);
+            w.len64(self.hubs.len());
+            for h in &self.hubs {
+                h.save(w);
+            }
+        }
+        fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+            self.fpga_clock = Clock::unpack(r)?;
+            self.control.load(r)?;
+            let n = r.len64()?;
+            if n != self.hubs.len() {
+                return Err(SnapError::Corrupt("adapter hub count mismatch"));
+            }
+            for h in &mut self.hubs {
+                h.load(r)?;
+            }
+            Ok(())
+        }
     }
 }
 

@@ -118,6 +118,7 @@ pub struct DirStats {
 }
 
 /// A directory + L3 data shard. See module docs.
+#[derive(Clone)]
 pub struct L3Shard {
     cfg: DirConfig,
     node: NodeId,
@@ -153,6 +154,13 @@ impl L3Shard {
             stats: DirStats::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// `(allocated, privately owned)` page counts of this shard's backing
+    /// memory — the copy-on-write fork probe. Immediately after a fork
+    /// both sides privately own zero pages; each COW fault adds one.
+    pub fn backing_pages(&self) -> (usize, usize) {
+        (self.backing.allocated_pages(), self.backing.owned_pages())
     }
 
     /// Installs the trace handle (events: MESI directory transitions and
@@ -650,6 +658,119 @@ impl L3Shard {
         e.busy = None;
         if let Some((src, msg, arrived, flight)) = e.queued.pop_front() {
             self.dispatch(now, src, msg, arrived, flight);
+        }
+    }
+}
+
+mod snap_impls {
+    use std::collections::VecDeque;
+
+    use duet_sim::{Pack, Snap, SnapError, SnapReader, SnapWriter};
+
+    use super::{BusyTxn, DirLine, DirState, DirStats, L3Shard};
+
+    impl Pack for DirState {
+        fn pack(&self, w: &mut SnapWriter) {
+            match self {
+                DirState::I => w.u8(0),
+                DirState::S { sharers } => {
+                    w.u8(1);
+                    sharers.pack(w);
+                }
+                DirState::EorM { owner } => {
+                    w.u8(2);
+                    w.len64(*owner);
+                }
+            }
+        }
+        fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.u8()? {
+                0 => DirState::I,
+                1 => DirState::S {
+                    sharers: Vec::unpack(r)?,
+                },
+                2 => DirState::EorM { owner: r.len64()? },
+                _ => return Err(SnapError::Corrupt("invalid DirState discriminant")),
+            })
+        }
+    }
+
+    impl Pack for BusyTxn {
+        fn pack(&self, w: &mut SnapWriter) {
+            self.need_unblock.pack(w);
+            self.need_wbdata.pack(w);
+        }
+        fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(BusyTxn {
+                need_unblock: bool::unpack(r)?,
+                need_wbdata: bool::unpack(r)?,
+            })
+        }
+    }
+
+    impl Pack for DirLine {
+        fn pack(&self, w: &mut SnapWriter) {
+            self.state.pack(w);
+            self.busy.pack(w);
+            self.queued.pack(w);
+        }
+        fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(DirLine {
+                state: DirState::unpack(r)?,
+                busy: Option::unpack(r)?,
+                queued: VecDeque::unpack(r)?,
+            })
+        }
+    }
+
+    impl Pack for DirStats {
+        fn pack(&self, w: &mut SnapWriter) {
+            w.u64(self.gets);
+            w.u64(self.getm);
+            w.u64(self.putm);
+            w.u64(self.invs_sent);
+            w.u64(self.fwds_sent);
+            w.u64(self.l3_hits);
+            w.u64(self.l3_misses);
+        }
+        fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(DirStats {
+                gets: r.u64()?,
+                getm: r.u64()?,
+                putm: r.u64()?,
+                invs_sent: r.u64()?,
+                fwds_sent: r.u64()?,
+                l3_hits: r.u64()?,
+                l3_misses: r.u64()?,
+            })
+        }
+    }
+
+    impl Snap for L3Shard {
+        /// `blocked_lines` is derived (recomputed on load); the tracer
+        /// handle is re-installed by the owning system.
+        fn save(&self, w: &mut SnapWriter) {
+            self.dir.pack(w);
+            self.backing.save(w);
+            self.l3_tags.save(w);
+            self.incoming.pack(w);
+            self.out.save(w);
+            self.stats.pack(w);
+        }
+        fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+            self.dir = Pack::unpack(r)?;
+            self.backing.load(r)?;
+            self.l3_tags.load(r)?;
+            self.incoming = Pack::unpack(r)?;
+            self.out.load(r)?;
+            self.stats = DirStats::unpack(r)?;
+            self.blocked_lines = self
+                .dir
+                .sorted_keys()
+                .into_iter()
+                .filter(|&k| self.line_blocked(k))
+                .count();
+            Ok(())
         }
     }
 }

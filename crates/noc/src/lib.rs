@@ -38,7 +38,10 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use duet_sim::{merge_min, Clock, ClockDomain, Component, Link, LinkReport, PushError, Time};
+use duet_sim::{
+    merge_min, Clock, ClockDomain, Component, Link, LinkReport, Pack, PushError, Snap, SnapError,
+    SnapReader, SnapWriter, Time,
+};
 use duet_trace::{pack_hop, pack_noc, EventKind, Tracer};
 
 /// Identifies a mesh node (tile). Row-major: `id = y * width + x`.
@@ -208,6 +211,7 @@ impl MeshConfig {
     }
 }
 
+#[derive(Clone)]
 struct Router<P> {
     /// Input links, indexed `[port][vnet]`: one bounded synchronous link per
     /// (port, vnet) pair, modelling the per-vnet input buffers of an
@@ -248,6 +252,7 @@ impl MeshStats {
 }
 
 /// A 2D-mesh network-on-chip. See the crate-level docs for the model.
+#[derive(Clone)]
 pub struct Mesh<P> {
     cfg: MeshConfig,
     routers: Vec<Router<P>>,
@@ -621,6 +626,162 @@ impl<P> Component for Mesh<P> {
     }
 }
 
+impl Pack for VNet {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u8(*self as u8);
+    }
+    fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(VNet::Req),
+            1 => Ok(VNet::Fwd),
+            2 => Ok(VNet::Resp),
+            _ => Err(SnapError::Corrupt("invalid VNet discriminant")),
+        }
+    }
+}
+
+impl<P: Pack> Pack for Message<P> {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.len64(self.src);
+        w.len64(self.dst);
+        self.vnet.pack(w);
+        self.flits.pack(w);
+        self.injected_at.pack(w);
+        w.u64(self.trace_id);
+        self.payload.pack(w);
+    }
+    fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let src = r.len64()?;
+        let dst = r.len64()?;
+        let vnet = VNet::unpack(r)?;
+        let flits = u32::unpack(r)?;
+        if flits == 0 {
+            return Err(SnapError::Corrupt("zero-flit message"));
+        }
+        let injected_at = Time::unpack(r)?;
+        let trace_id = r.u64()?;
+        let payload = P::unpack(r)?;
+        Ok(Message {
+            src,
+            dst,
+            vnet,
+            flits,
+            injected_at,
+            trace_id,
+            payload,
+        })
+    }
+}
+
+impl Pack for MeshStats {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.delivered);
+        w.u64(self.delivered_flits);
+        self.total_latency.pack(w);
+        w.u64(self.injected);
+    }
+    fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MeshStats {
+            delivered: r.u64()?,
+            delivered_flits: r.u64()?,
+            total_latency: Time::unpack(r)?,
+            injected: r.u64()?,
+        })
+    }
+}
+
+impl<P: Pack> Snap for Mesh<P> {
+    /// Serializes router buffers, ejection queues, traffic stats, and the
+    /// trace-id counter. The derived worklists (`active`, `eject_active`,
+    /// `eject_pending`, per-router `occ`) are *recomputed* from the loaded
+    /// buffers — they are pure functions of queue occupancy, so rebuilding
+    /// them is bit-exact and removes a whole class of corrupt-snapshot
+    /// inconsistencies. `scratch` is transient (cleared at every tick) and
+    /// the tracer handle is a session resource; neither is serialized.
+    fn save(&self, w: &mut SnapWriter) {
+        w.len64(self.routers.len());
+        for router in &self.routers {
+            for per_port in &router.inputs {
+                for link in per_port {
+                    link.save(w);
+                }
+            }
+            router.out_busy.pack(w);
+            router.rr.pack(w);
+        }
+        for node in &self.eject {
+            for q in node {
+                q.pack(w);
+            }
+        }
+        self.stats.pack(w);
+        w.u64(self.trace_seq);
+    }
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.len64()? != self.routers.len() {
+            return Err(SnapError::Corrupt("mesh node count mismatch"));
+        }
+        self.active.clear();
+        for (node, router) in self.routers.iter_mut().enumerate() {
+            let mut occ: u16 = 0;
+            for (p, per_port) in router.inputs.iter_mut().enumerate() {
+                for (vn, link) in per_port.iter_mut().enumerate() {
+                    link.load(r)?;
+                    if !link.is_empty() {
+                        occ |= 1 << (p * VNET_COUNT + vn);
+                    }
+                }
+            }
+            router.out_busy = <[Time; PORT_COUNT]>::unpack(r)?;
+            router.rr = <[usize; PORT_COUNT]>::unpack(r)?;
+            router.occ = occ;
+            if occ != 0 {
+                self.active.insert(node);
+            }
+        }
+        self.eject_pending = 0;
+        self.eject_active.clear();
+        for node in 0..self.eject.len() {
+            for vn in 0..VNET_COUNT {
+                self.eject[node][vn] = VecDeque::<Message<P>>::unpack(r)?;
+                for m in &self.eject[node][vn] {
+                    if m.src >= self.cfg.nodes() || m.dst >= self.cfg.nodes() {
+                        return Err(SnapError::Corrupt("ejected message node out of range"));
+                    }
+                }
+                self.eject_pending += self.eject[node][vn].len();
+            }
+            if self.eject[node].iter().any(|q| !q.is_empty()) {
+                self.eject_active.insert(node);
+            }
+        }
+        self.stats = MeshStats::unpack(r)?;
+        self.trace_seq = r.u64()?;
+        self.scratch.clear();
+        Ok(())
+    }
+}
+
+impl Pack for DirtyNodes {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.len64(self.nodes.len());
+        for &n in &self.nodes {
+            w.len64(n);
+        }
+    }
+    fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len64()?;
+        let mut nodes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            nodes.push(r.len64()?);
+        }
+        if !nodes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapError::Corrupt("dirty node list not strictly ascending"));
+        }
+        Ok(DirtyNodes { nodes })
+    }
+}
+
 /// A sorted, duplicate-free set of node ids, used as a dirty list by the
 /// run loop: nodes whose injection pipes are non-empty. Iteration order is
 /// always ascending node id, so a scan over the dirty set visits nodes in
@@ -940,6 +1101,95 @@ mod tests {
         let t1 = Time::from_ps(2000);
         mesh.tick(t1); // one wins, the other stays visible
         assert_eq!(mesh.next_event_time(t1), Some(Time::from_ps(3000)));
+    }
+
+    #[test]
+    fn mesh_snapshot_roundtrip_mid_flight_is_bit_identical() {
+        // Load a 3x3 mesh with in-flight traffic, snapshot it, keep running
+        // both the original and a freshly-restored copy in lockstep: every
+        // ejection (payload, time) and the final stats must match exactly.
+        let cfg = MeshConfig::new(3, 3, Clock::ghz1());
+        let mut a: Mesh<u64> = Mesh::new(cfg);
+        let mut t = Time::from_ps(1000);
+        for i in 0..12u64 {
+            let (src, dst) = ((i % 8) as usize, ((i * 5 + 3) % 9) as usize);
+            let vnet = [VNet::Req, VNet::Fwd, VNet::Resp][(i % 3) as usize];
+            if a.can_inject(src, vnet) {
+                a.inject(t, Message::new(src, dst, vnet, 1 + (i % 3) as u32, i))
+                    .unwrap();
+            }
+            a.tick(t);
+            t += Time::from_ps(1000);
+        }
+        // Snapshot mid-flight (some messages buffered, some ejected).
+        let mut w = SnapWriter::new();
+        a.save(&mut w);
+        let buf = w.finish();
+        let mut b: Mesh<u64> = Mesh::new(cfg);
+        let mut r = SnapReader::new(&buf);
+        b.load(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(b.is_idle(), a.is_idle());
+        // Drain both in lockstep.
+        for _ in 0..200 {
+            a.tick(t);
+            b.tick(t);
+            for node in 0..9 {
+                for vnet in [VNet::Req, VNet::Fwd, VNet::Resp] {
+                    loop {
+                        let (ma, mb) = (a.eject(node, vnet), b.eject(node, vnet));
+                        match (ma, mb) {
+                            (None, None) => break,
+                            (Some(x), Some(y)) => {
+                                assert_eq!(x.payload, y.payload);
+                                assert_eq!(x.trace_id, y.trace_id);
+                                assert_eq!(x.injected_at, y.injected_at);
+                            }
+                            _ => panic!("ejection divergence at node {node}"),
+                        }
+                    }
+                }
+            }
+            t += Time::from_ps(1000);
+            if a.is_idle() && b.is_idle() {
+                break;
+            }
+        }
+        assert!(a.is_idle() && b.is_idle());
+        assert_eq!(a.stats().delivered, b.stats().delivered);
+        assert_eq!(a.stats().total_latency, b.stats().total_latency);
+        assert_eq!(a.stats().injected, b.stats().injected);
+        // New injections continue the same trace-id sequence.
+        a.inject(t, Message::new(0, 1, VNet::Req, 1, 99)).unwrap();
+        b.inject(t, Message::new(0, 1, VNet::Req, 1, 99)).unwrap();
+        assert!(a.peek_eject(0, VNet::Req).is_none());
+        assert_eq!(a.stats().injected, b.stats().injected);
+    }
+
+    #[test]
+    fn mesh_load_rejects_wrong_geometry() {
+        let mut a: Mesh<u32> = Mesh::new(MeshConfig::new(2, 2, Clock::ghz1()));
+        let mut w = SnapWriter::new();
+        a.save(&mut w);
+        let buf = w.finish();
+        let mut b: Mesh<u32> = Mesh::new(MeshConfig::new(3, 3, Clock::ghz1()));
+        let mut r = SnapReader::new(&buf);
+        assert!(matches!(b.load(&mut r), Err(SnapError::Corrupt(_))));
+        let _ = a.eject(0, VNet::Req);
+    }
+
+    #[test]
+    fn dirty_nodes_pack_roundtrip() {
+        let mut d = DirtyNodes::new();
+        for n in [5, 1, 8] {
+            d.insert(n);
+        }
+        let mut w = SnapWriter::new();
+        d.pack(&mut w);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        let back = DirtyNodes::unpack(&mut r).unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod horizon;
 pub mod link;
 pub mod rng;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod storage;
 pub mod time;
@@ -63,6 +64,7 @@ pub use horizon::{merge_min, Horizon};
 pub use link::{Link, LinkReport, LinkStats};
 pub use rng::SimRng;
 pub use shard::{partition_balanced, EpochBarrier};
+pub use snapshot::{Pack, Snap, SnapError, SnapHasher, SnapReader, SnapWriter};
 pub use stats::{Counter, LatencyBreakdown, RunningStats};
 pub use storage::{IdSlab, LineMap, PagedMem};
 pub use time::Time;

@@ -322,18 +322,25 @@ const PAGE_ENTRIES: usize = 4096;
 const DIRECT_PAGES: usize = 1 << 16;
 
 /// A sparse, lazily-allocated array of `V` indexed by `u64`, built from
-/// fixed-size pages — the backing-store analogue of `CacheArray`'s lazy
-/// `ensure_backing`.
+/// fixed-size **copy-on-write** pages — the backing-store analogue of
+/// `CacheArray`'s lazy `ensure_backing`.
 ///
 /// Reads of never-written keys return `V::default()` *without allocating*;
 /// the first write to a page allocates it (zero-filled). Keys below
 /// 2^28 (the common case: line indices of the first 4 GB of simulated
-/// memory) go through a dense `Vec<Option<Box<[V]>>>` — one bounds check
+/// memory) go through a dense `Vec<Option<Arc<[V]>>>` — one bounds check
 /// and two loads — while higher keys fall back to a [`LineMap`] of pages.
+///
+/// Pages are reference-counted: `Clone` shares every page (O(pages)
+/// pointer copies, no data copies), and a write to a shared page copies
+/// just that page first. This is what makes `System::fork()` O(dirty
+/// pages) — a forked sweep point pays only for the lines it actually
+/// touches. [`PagedMem::owned_pages`] counts privately-held pages so
+/// tests can assert exactly that.
 #[derive(Clone, Debug, Default)]
 pub struct PagedMem<V: Copy + Default> {
-    direct: Vec<Option<Box<[V]>>>,
-    high: LineMap<Box<[V]>>,
+    direct: Vec<Option<std::sync::Arc<[V]>>>,
+    high: LineMap<std::sync::Arc<[V]>>,
 }
 
 impl<V: Copy + Default> PagedMem<V> {
@@ -357,11 +364,12 @@ impl<V: Copy + Default> PagedMem<V> {
         page.map(|p| p[off]).unwrap_or_default()
     }
 
-    /// Writes `value` at `key`, allocating the page on first touch.
+    /// Writes `value` at `key`, allocating the page on first touch and
+    /// privatizing it first if it is shared with a fork.
     pub fn write(&mut self, key: u64, value: V) {
         let page_no = key / PAGE_ENTRIES as u64;
         let off = key as usize % PAGE_ENTRIES;
-        let page = if page_no < DIRECT_PAGES as u64 {
+        let slot = if page_no < DIRECT_PAGES as u64 {
             let idx = page_no as usize;
             if self.direct.len() <= idx {
                 self.direct.resize_with(idx + 1, || None);
@@ -373,7 +381,16 @@ impl<V: Copy + Default> PagedMem<V> {
             }
             self.high.get_mut(page_no).expect("just inserted")
         };
-        page[off] = value;
+        Self::page_mut(slot)[off] = value;
+    }
+
+    /// Unique access to a page's entries, copying the page first if a
+    /// fork still shares it.
+    fn page_mut(slot: &mut std::sync::Arc<[V]>) -> &mut [V] {
+        if std::sync::Arc::get_mut(slot).is_none() {
+            *slot = std::sync::Arc::from(&slot[..]);
+        }
+        std::sync::Arc::get_mut(slot).expect("page is unique after copy-out")
     }
 
     /// Number of pages currently allocated (tests/diagnostics).
@@ -381,8 +398,139 @@ impl<V: Copy + Default> PagedMem<V> {
         self.direct.iter().filter(|p| p.is_some()).count() + self.high.len()
     }
 
-    fn blank_page() -> Box<[V]> {
-        vec![V::default(); PAGE_ENTRIES].into_boxed_slice()
+    /// Number of allocated pages this store holds *privately* (not
+    /// shared with any fork). Immediately after a fork this is zero on
+    /// both sides; it grows by exactly one per copy-on-write fault, so
+    /// "fork is O(dirty pages)" is directly assertable.
+    pub fn owned_pages(&self) -> usize {
+        let direct = self
+            .direct
+            .iter()
+            .flatten()
+            .filter(|p| std::sync::Arc::strong_count(p) == 1)
+            .count();
+        let mut high = 0;
+        for k in self.high.sorted_keys() {
+            if self
+                .high
+                .get(k)
+                .is_some_and(|p| std::sync::Arc::strong_count(p) == 1)
+            {
+                high += 1;
+            }
+        }
+        direct + high
+    }
+
+    fn blank_page() -> std::sync::Arc<[V]> {
+        std::sync::Arc::from(vec![V::default(); PAGE_ENTRIES].into_boxed_slice())
+    }
+}
+
+impl<V: crate::snapshot::Pack> crate::snapshot::Pack for LineMap<V> {
+    /// Serialized as `len` followed by `(key, value)` pairs in ascending
+    /// key order — the map's only observable order. Unpacking rebuilds by
+    /// insertion, so the internal probe layout (growth history, tombstones)
+    /// is *not* preserved; nothing observable depends on it.
+    fn pack(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.len64(self.len);
+        for (k, v) in self.sorted_iter() {
+            w.u64(k);
+            v.pack(w);
+        }
+    }
+    fn unpack(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        let n = r.len64()?;
+        let mut m = LineMap::new();
+        for _ in 0..n {
+            let k = r.u64()?;
+            let v = V::unpack(r)?;
+            if m.insert(k, v).is_some() {
+                return Err(crate::snapshot::SnapError::Corrupt("duplicate LineMap key"));
+            }
+        }
+        Ok(m)
+    }
+}
+
+impl<V: crate::snapshot::Pack> crate::snapshot::Pack for IdSlab<V> {
+    /// Slots and free list are serialized verbatim: freed ids are reused
+    /// LIFO, so the free list's exact order is observable through future
+    /// `insert` calls.
+    fn pack(&self, w: &mut crate::snapshot::SnapWriter) {
+        self.slots.pack(w);
+        self.free.pack(w);
+    }
+    fn unpack(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        let slots = Vec::<Option<V>>::unpack(r)?;
+        let free = Vec::<u32>::unpack(r)?;
+        for &i in &free {
+            let live = slots.get(i as usize).map(|s| s.is_some());
+            if live != Some(false) {
+                return Err(crate::snapshot::SnapError::Corrupt(
+                    "IdSlab free list names a live or out-of-range slot",
+                ));
+            }
+        }
+        Ok(IdSlab { slots, free })
+    }
+}
+
+impl<V: crate::snapshot::Pack + Copy + Default> crate::snapshot::Snap for PagedMem<V> {
+    /// Serialized as the allocated page set in ascending page-number order
+    /// (direct pages first, then overflow pages — overflow keys are all
+    /// larger, so the concatenation is globally sorted), each page as its
+    /// full `PAGE_ENTRIES` payload. Restore materializes fresh uniquely-
+    /// owned pages; COW sharing with any pre-snapshot fork is not (and must
+    /// not be) preserved.
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.len64(self.allocated_pages());
+        for (idx, page) in self.direct.iter().enumerate() {
+            if let Some(page) = page {
+                w.u64(idx as u64);
+                for v in page.iter() {
+                    v.pack(w);
+                }
+            }
+        }
+        for k in self.high.sorted_keys() {
+            w.u64(k);
+            for v in self.high.get(k).expect("key just listed").iter() {
+                v.pack(w);
+            }
+        }
+    }
+    fn load(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        let n = r.len64()?;
+        let mut fresh = PagedMem::new();
+        for _ in 0..n {
+            let page_no = r.u64()?;
+            let mut page = vec![V::default(); PAGE_ENTRIES];
+            for v in page.iter_mut() {
+                *v = V::unpack(r)?;
+            }
+            let page: std::sync::Arc<[V]> = std::sync::Arc::from(page.into_boxed_slice());
+            if page_no < DIRECT_PAGES as u64 {
+                let idx = page_no as usize;
+                if fresh.direct.len() <= idx {
+                    fresh.direct.resize_with(idx + 1, || None);
+                }
+                if fresh.direct[idx].replace(page).is_some() {
+                    return Err(crate::snapshot::SnapError::Corrupt(
+                        "duplicate PagedMem page",
+                    ));
+                }
+            } else if fresh.high.insert(page_no, page).is_some() {
+                return Err(crate::snapshot::SnapError::Corrupt(
+                    "duplicate PagedMem page",
+                ));
+            }
+        }
+        *self = fresh;
+        Ok(())
     }
 }
 
@@ -581,5 +729,132 @@ mod tests {
         assert_eq!(p.allocated_pages(), 1);
         // The dense table must not have been resized to cover it.
         assert!(p.direct.is_empty());
+    }
+
+    #[test]
+    fn pagedmem_clone_shares_pages_until_written() {
+        let mut a: PagedMem<u64> = PagedMem::new();
+        for page in 0..8u64 {
+            a.write(page * PAGE_ENTRIES as u64, page + 1);
+        }
+        let high = (DIRECT_PAGES as u64) * (PAGE_ENTRIES as u64);
+        a.write(high, 99);
+        assert_eq!(a.allocated_pages(), 9);
+        assert_eq!(a.owned_pages(), 9);
+
+        let mut b = a.clone();
+        // COW fork: every page is now shared, neither side owns any.
+        assert_eq!(a.owned_pages(), 0);
+        assert_eq!(b.owned_pages(), 0);
+        // Reads don't privatize.
+        assert_eq!(b.read(3 * PAGE_ENTRIES as u64), 4);
+        assert_eq!(b.read(high), 99);
+        assert_eq!(b.owned_pages(), 0);
+
+        // A write privatizes exactly the touched page, on the writer only.
+        b.write(3 * PAGE_ENTRIES as u64 + 1, 77);
+        assert_eq!(b.owned_pages(), 1);
+        assert_eq!(
+            a.owned_pages(),
+            1,
+            "parent's copy of page 3 is private now too"
+        );
+        // Isolation both ways.
+        assert_eq!(b.read(3 * PAGE_ENTRIES as u64 + 1), 77);
+        assert_eq!(a.read(3 * PAGE_ENTRIES as u64 + 1), 0);
+        a.write(high + 2, 5);
+        assert_eq!(b.read(high + 2), 0);
+
+        // Dropping the fork returns the parent to full ownership.
+        drop(b);
+        assert_eq!(a.owned_pages(), 9);
+    }
+
+    #[test]
+    fn linemap_pack_roundtrip_preserves_contents() {
+        use crate::snapshot::{Pack, SnapReader, SnapWriter};
+        let mut m: LineMap<u64> = LineMap::new();
+        for k in 0..500u64 {
+            m.insert(k * 7, k);
+        }
+        for k in 0..250u64 {
+            m.remove(k * 14);
+        }
+        let mut w = SnapWriter::new();
+        m.pack(&mut w);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        let back = LineMap::<u64>::unpack(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.sorted_keys(), m.sorted_keys());
+        for k in m.sorted_keys() {
+            assert_eq!(back.get(k), m.get(k));
+        }
+    }
+
+    #[test]
+    fn idslab_pack_roundtrip_preserves_allocation_order() {
+        use crate::snapshot::{Pack, SnapReader, SnapWriter};
+        let mut s: IdSlab<u32> = IdSlab::new();
+        for v in 0..6u32 {
+            s.insert(v);
+        }
+        s.remove(4);
+        s.remove(1);
+        let mut w = SnapWriter::new();
+        s.pack(&mut w);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        let mut back = IdSlab::<u32>::unpack(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.len(), s.len());
+        // LIFO reuse order must survive: 1 was freed last, comes back first.
+        assert_eq!(back.insert(100), 1);
+        assert_eq!(back.insert(101), 4);
+        assert_eq!(back.insert(102), 6);
+    }
+
+    #[test]
+    fn idslab_unpack_rejects_corrupt_free_list() {
+        use crate::snapshot::{Pack, SnapError, SnapReader, SnapWriter};
+        let mut w = SnapWriter::new();
+        vec![Some(1u32), Some(2)].pack(&mut w);
+        vec![0u32].pack(&mut w); // slot 0 is live, can't be free
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        assert!(matches!(
+            IdSlab::<u32>::unpack(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pagedmem_snap_roundtrip_and_reset() {
+        use crate::snapshot::{Snap, SnapReader, SnapWriter};
+        let mut p: PagedMem<u64> = PagedMem::new();
+        p.write(5, 50);
+        p.write(3 * PAGE_ENTRIES as u64 + 9, 39);
+        let high = (DIRECT_PAGES as u64) * (PAGE_ENTRIES as u64) + 7;
+        p.write(high, 7);
+        let mut w = SnapWriter::new();
+        p.save(&mut w);
+        let buf = w.finish();
+
+        // Load into a store with unrelated prior contents: must fully reset.
+        let mut q: PagedMem<u64> = PagedMem::new();
+        q.write(1, 111);
+        q.write(40 * PAGE_ENTRIES as u64, 4);
+        let mut r = SnapReader::new(&buf);
+        q.load(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(q.allocated_pages(), 3);
+        assert_eq!(q.read(5), 50);
+        assert_eq!(q.read(3 * PAGE_ENTRIES as u64 + 9), 39);
+        assert_eq!(q.read(high), 7);
+        assert_eq!(q.read(1), 0, "stale page must be gone");
+        assert_eq!(q.read(40 * PAGE_ENTRIES as u64), 0);
+        // Restored pages are uniquely owned regardless of prior sharing.
+        assert_eq!(q.owned_pages(), 3);
     }
 }

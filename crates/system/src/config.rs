@@ -6,7 +6,7 @@ use duet_cpu::CoreConfig;
 use duet_mem::priv_cache::CacheConfig;
 use duet_mem::DirConfig;
 use duet_sim::Clock;
-use duet_verify::FaultPlan;
+use duet_verify::{FaultKind, FaultPlan};
 
 /// Which system architecture to model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -194,6 +194,56 @@ impl SystemConfig {
             return Err(ConfigError::InvalidFpgaClock { mhz: self.fpga_mhz });
         }
         Ok(())
+    }
+
+    /// A stable 64-bit digest of every field that affects simulated state.
+    ///
+    /// Stamped into snapshot headers so a snapshot taken under one
+    /// configuration refuses to load into a system built from another.
+    /// `sim_threads` is deliberately excluded: shard count only trades host
+    /// CPUs for wall-clock time (results are bit-identical), so a snapshot
+    /// taken at one thread count must restore at any other. The fault plan
+    /// *is* folded in — replaying a checkpoint under a different plan would
+    /// silently change the run.
+    pub fn config_hash(&self) -> u64 {
+        use duet_sim::SnapHasher;
+        let mut h = SnapHasher::new();
+        h.usize(self.processors);
+        h.usize(self.memory_hubs);
+        h.bool(self.has_fpga);
+        h.f64(self.fpga_mhz);
+        h.u64(match self.variant {
+            Variant::Duet => 0,
+            Variant::Fpsoc => 1,
+            Variant::ProcOnly => 2,
+        });
+        h.u64(self.clock.period().as_ps());
+        h.u64(self.kernel_latency_cycles);
+        h.usize(self.proxy_mshrs);
+        h.u64(self.mmio_base);
+        h.u64(self.faults.seed);
+        h.usize(self.faults.specs.len());
+        for spec in &self.faults.specs {
+            let (code, a, b) = match spec.kind {
+                FaultKind::AccelHang => (0u64, 0u64, 0u64),
+                FaultKind::CdcFreeze { hub } => (1, hub as u64, 0),
+                FaultKind::NocDelay { node } => (2, node as u64, 0),
+                FaultKind::NocReorder { node, count } => (3, node as u64, u64::from(count)),
+                FaultKind::NocDrop { node, count } => (4, node as u64, u64::from(count)),
+                FaultKind::L3RespStall { node } => (5, node as u64, 0),
+                FaultKind::L3RespDrop { node, count } => (6, node as u64, u64::from(count)),
+            };
+            h.u64(code);
+            h.u64(a);
+            h.u64(b);
+            h.u64(spec.from.as_ps());
+            h.u64(spec.until.as_ps());
+        }
+        h.bool(self.faults.degrade.is_some());
+        if let Some(d) = &self.faults.degrade {
+            h.u64(d.fence_after.as_ps());
+        }
+        h.finish()
     }
 
     /// Total number of tiles: P-tiles + C-tile + M-tiles.

@@ -52,6 +52,7 @@ pub mod config;
 pub mod metrics;
 mod parallel;
 mod run_loop;
+mod snapshot;
 mod stats;
 pub mod system;
 mod wiring;

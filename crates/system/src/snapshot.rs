@@ -1,0 +1,468 @@
+//! Checkpoint, fork, and time-travel for the whole system.
+//!
+//! Three capabilities, all built on the `duet-sim` snapshot layer:
+//!
+//! * **Checkpoint/restore** — [`System::snapshot`] serializes every bit of
+//!   simulated state into a versioned, fingerprinted byte buffer;
+//!   [`System::restore`] loads it back into a freshly *built* system (same
+//!   [`SystemConfig`], same program, same accelerator design). A restored
+//!   run continues bit-identically to the uninterrupted one: identical
+//!   fingerprints, metrics, and traces at any thread count, with edge-skip
+//!   on or off.
+//! * **COW fork** — [`System::fork`] clones a live system in O(dirty pages):
+//!   backing memory is page-grained copy-on-write ([`duet_sim::PagedMem`]),
+//!   so a warmed multi-megabyte footprint forks by bumping `Arc` counts.
+//!   Sweeps boot once and fork per point instead of re-running warmup.
+//! * **Divergence fingerprints** — [`System::divergence_fingerprint`]
+//!   hashes the full simulated state (host-only metrics excluded) into one
+//!   `u64`, cheap enough to compare every few thousand edges. The
+//!   `bisect_divergence` tool in `duet-bench` uses it to walk two runs to
+//!   their first divergent clock edge.
+//!
+//! # What is (and is not) in a snapshot
+//!
+//! Everything that affects simulated behavior is serialized: clocks, cores,
+//! L1/L2/TLB, the mesh (routers, in-flight messages, per-link stats), L3
+//! shards (directory + backing memory), the adapter (control hub, memory
+//! hubs, proxy caches, CDC FIFOs), the accelerator's registered state
+//! ([`SoftAccelerator::save_state`]), the OS stub (page table, pending
+//! tasks, MMIO id space), fault-injection progress, and the runtime
+//! checkers. Host-side plumbing is *not*: trace sessions, shard pools and
+//! lanes, and the edge-skip knob are rebuilt from the config and
+//! environment, because none of them may influence results in the first
+//! place. `executed_edges` (a host-performance metric) travels in its own
+//! trailing section so it survives restore but stays out of divergence
+//! fingerprints.
+//!
+//! # Restore protocol
+//!
+//! `restore` overwrites state; it does not build structure. The caller
+//! re-runs the same setup as the original process — `System::new` with an
+//! equal config, `load_program`, `attach_accelerator` with the same design
+//! — then calls `restore(bytes)`. Mismatches fail loudly: a wrong config
+//! is caught by the header hash, a missing accelerator or different core
+//! count by structural checks, garbage by section tags and exact-consumption
+//! checks. On error the system may be partially overwritten and must be
+//! discarded (fail-loud poisoning; no rollback).
+//!
+//! [`SystemConfig`]: crate::config::SystemConfig
+//! [`SoftAccelerator::save_state`]: duet_fpga::SoftAccelerator
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use duet_fpga::SoftAccelerator;
+use duet_sim::{Pack, Snap, SnapError, SnapHasher, SnapReader, SnapWriter};
+use duet_trace::Tracer;
+
+use crate::run_loop::OsTask;
+use crate::stats::RunStats;
+use crate::system::System;
+
+impl Pack for RunStats {
+    fn pack(&self, w: &mut SnapWriter) {
+        w.u64(self.fast_edges);
+        w.u64(self.slow_edges);
+        w.u64(self.exceptions);
+        w.u64(self.page_faults);
+    }
+    fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RunStats {
+            fast_edges: r.u64()?,
+            slow_edges: r.u64()?,
+            exceptions: r.u64()?,
+            page_faults: r.u64()?,
+        })
+    }
+}
+
+impl Pack for OsTask {
+    fn pack(&self, w: &mut SnapWriter) {
+        match self {
+            OsTask::TlbFill { vaddr, hub } => {
+                w.u8(0);
+                vaddr.pack(w);
+                hub.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(OsTask::TlbFill {
+                vaddr: Pack::unpack(r)?,
+                hub: Pack::unpack(r)?,
+            }),
+            _ => Err(SnapError::Corrupt("invalid OsTask discriminant")),
+        }
+    }
+}
+
+impl System {
+    /// Serializes the complete simulated state into a versioned,
+    /// config-fingerprinted buffer. See the module docs for the format
+    /// contract and the restore protocol.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::with_header(self.cfg.config_hash());
+        self.write_state(&mut w);
+        w.section(*b"FLT\0", |w| {
+            self.fault_active.pack(w);
+            let budget: Vec<u64> = self
+                .fault_budget
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            budget.pack(w);
+            self.faults_injected.pack(w);
+        });
+        w.section(*b"HOST", |w| self.executed_edges.pack(w));
+        w.finish()
+    }
+
+    /// Overwrites this system's state from a buffer produced by
+    /// [`snapshot`](System::snapshot). The system must have been built from
+    /// an equal [`SystemConfig`](crate::config::SystemConfig) (checked via
+    /// the header hash) with the same structure — programs loaded and, if
+    /// the snapshot carries accelerator state, the same accelerator design
+    /// attached. On `Err` the system is partially overwritten and must be
+    /// discarded.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::with_header(bytes, self.cfg.config_hash())?;
+        self.read_state(&mut r)?;
+        r.section(*b"FLT\0", |r| {
+            self.fault_active = Pack::unpack(r)?;
+            if self.fault_active.len() != self.cfg.faults.specs.len() {
+                return Err(SnapError::Corrupt("fault window count mismatch"));
+            }
+            let budget: Vec<u64> = Pack::unpack(r)?;
+            if budget.len() != self.fault_budget.len() {
+                return Err(SnapError::Corrupt("fault budget count mismatch"));
+            }
+            for (slot, v) in self.fault_budget.iter().zip(budget) {
+                slot.store(v, Ordering::Relaxed);
+            }
+            self.faults_injected = Pack::unpack(r)?;
+            Ok(())
+        })?;
+        self.executed_edges = r.section(*b"HOST", |r| Pack::unpack(r))?;
+        r.expect_end()?;
+        // Derived counters and host-side scratch.
+        self.inject_pending_total = self.inject_pending.iter().map(duet_sim::Link::len).sum();
+        self.trace_scratch = None;
+        Ok(())
+    }
+
+    /// A 64-bit digest of the full simulated state, excluding host-only
+    /// metrics (`executed_edges`) and fault-*schedule* bookkeeping (window
+    /// flags, remaining budgets, injection counts — progress through the
+    /// plan, not system state). That exclusion is what lets a clean run
+    /// and a faulted run compare equal until a fault actually perturbs
+    /// something: the `bisect_divergence` tool compares these digests to
+    /// localize the first edge where two runs part ways.
+    pub fn divergence_fingerprint(&self) -> u64 {
+        let mut w = SnapWriter::new();
+        self.write_state(&mut w);
+        let buf = w.finish();
+        let mut h = SnapHasher::new();
+        h.bytes(&buf);
+        h.finish()
+    }
+
+    /// Every state section except the trailing fault-bookkeeping and
+    /// host-metrics sections, in fixed order. Shared by
+    /// [`snapshot`](System::snapshot) (which appends the header plus the
+    /// `FLT`/`HOST` sections) and
+    /// [`divergence_fingerprint`](System::divergence_fingerprint) (which
+    /// hashes exactly these bytes).
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.section(*b"TIME", |w| {
+            self.dual.save(w);
+            self.now.pack(w);
+            self.stats.pack(w);
+        });
+        w.section(*b"CORE", |w| {
+            w.len64(self.cores.len());
+            for c in &self.cores {
+                c.save(w);
+            }
+        });
+        w.section(*b"MESH", |w| self.mesh.save(w));
+        w.section(*b"L2\0\0", |w| {
+            w.len64(self.l2s.len());
+            for l2 in &self.l2s {
+                l2.save(w);
+            }
+        });
+        w.section(*b"L3\0\0", |w| {
+            w.len64(self.shards.len());
+            for s in &self.shards {
+                s.save(w);
+            }
+        });
+        w.section(*b"ADPT", |w| {
+            w.u8(u8::from(self.adapter.is_some()));
+            if let Some(a) = &self.adapter {
+                a.save(w);
+            }
+            w.len64(self.slow_cdc.len());
+            for cdc in &self.slow_cdc {
+                cdc.into_hub.save(w);
+                cdc.from_hub.save(w);
+            }
+        });
+        w.section(*b"ACCL", |w| {
+            self.accel_busy.pack(w);
+            self.accel_fenced.pack(w);
+            self.watchdog_sig.pack(w);
+            self.watchdog_since.pack(w);
+            w.u8(u8::from(self.accel.is_some()));
+            if let Some(a) = &self.accel {
+                a.save_state(w);
+            }
+        });
+        w.section(*b"SYS\0", |w| {
+            w.len64(self.inject_pending.len());
+            for l in &self.inject_pending {
+                l.save(w);
+            }
+            self.inject_dirty.pack(w);
+            self.core_held.pack(w);
+            self.mmio_ids.pack(w);
+            self.next_os_mmio_id.pack(w);
+            self.page_table.pack(w);
+            self.os_tasks.pack(w);
+            self.reorder_stash.pack(w);
+            self.fences.pack(w);
+        });
+        w.section(*b"VRFY", |w| {
+            self.mesi_checker.save(w);
+            self.noc_checker.save(w);
+            self.adapter_violations.pack(w);
+            self.pending_violation.pack(w);
+        });
+    }
+
+    /// Mirror of [`write_state`](System::write_state): loads every state
+    /// section into the already-built structure, failing loudly on any
+    /// structural mismatch.
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section(*b"TIME", |r| {
+            self.dual.load(r)?;
+            self.now = Pack::unpack(r)?;
+            self.stats = Pack::unpack(r)?;
+            Ok(())
+        })?;
+        r.section(*b"CORE", |r| {
+            if r.len64()? != self.cores.len() {
+                return Err(SnapError::Corrupt("core count mismatch"));
+            }
+            for c in &mut self.cores {
+                c.load(r)?;
+            }
+            Ok(())
+        })?;
+        r.section(*b"MESH", |r| self.mesh.load(r))?;
+        r.section(*b"L2\0\0", |r| {
+            if r.len64()? != self.l2s.len() {
+                return Err(SnapError::Corrupt("L2 count mismatch"));
+            }
+            for l2 in &mut self.l2s {
+                Snap::load(l2, r)?;
+            }
+            Ok(())
+        })?;
+        r.section(*b"L3\0\0", |r| {
+            if r.len64()? != self.shards.len() {
+                return Err(SnapError::Corrupt("L3 shard count mismatch"));
+            }
+            for s in &mut self.shards {
+                s.load(r)?;
+            }
+            Ok(())
+        })?;
+        r.section(*b"ADPT", |r| {
+            let present = r.u8()? != 0;
+            if present != self.adapter.is_some() {
+                return Err(SnapError::Corrupt("adapter presence mismatch"));
+            }
+            if let Some(a) = &mut self.adapter {
+                a.load(r)?;
+            }
+            if r.len64()? != self.slow_cdc.len() {
+                return Err(SnapError::Corrupt("slow-CDC count mismatch"));
+            }
+            for cdc in &mut self.slow_cdc {
+                cdc.into_hub.load(r)?;
+                cdc.from_hub.load(r)?;
+            }
+            Ok(())
+        })?;
+        r.section(*b"ACCL", |r| {
+            self.accel_busy = Pack::unpack(r)?;
+            self.accel_fenced = Pack::unpack(r)?;
+            self.watchdog_sig = Pack::unpack(r)?;
+            self.watchdog_since = Pack::unpack(r)?;
+            let present = r.u8()? != 0;
+            if present != self.accel.is_some() {
+                return Err(SnapError::Corrupt("accelerator presence mismatch"));
+            }
+            if let Some(a) = &mut self.accel {
+                a.load_state(r)?;
+            }
+            Ok(())
+        })?;
+        r.section(*b"SYS\0", |r| {
+            if r.len64()? != self.inject_pending.len() {
+                return Err(SnapError::Corrupt("injection pipe count mismatch"));
+            }
+            for l in &mut self.inject_pending {
+                l.load(r)?;
+            }
+            self.inject_dirty = Pack::unpack(r)?;
+            self.core_held = Pack::unpack(r)?;
+            if self.core_held.len() != self.cores.len() {
+                return Err(SnapError::Corrupt("core_held count mismatch"));
+            }
+            self.mmio_ids = Pack::unpack(r)?;
+            self.next_os_mmio_id = Pack::unpack(r)?;
+            self.page_table = Pack::unpack(r)?;
+            self.os_tasks = Pack::unpack(r)?;
+            self.reorder_stash = Pack::unpack(r)?;
+            self.fences = Pack::unpack(r)?;
+            Ok(())
+        })?;
+        r.section(*b"VRFY", |r| {
+            self.mesi_checker.load(r)?;
+            self.noc_checker.load(r)?;
+            self.adapter_violations = Pack::unpack(r)?;
+            self.pending_violation = Pack::unpack(r)?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// `(allocated, privately owned)` backing-memory page counts summed
+    /// over every L3 shard. The COW probe for [`fork`](System::fork):
+    /// right after a fork both parent and child privately own zero pages,
+    /// and each copy-on-write fault moves exactly one page from shared to
+    /// owned — so "fork is O(dirty pages)" is directly assertable.
+    pub fn memory_pages(&self) -> (usize, usize) {
+        let mut allocated = 0;
+        let mut owned = 0;
+        for s in &self.shards {
+            let (a, o) = s.backing_pages();
+            allocated += a;
+            owned += o;
+        }
+        (allocated, owned)
+    }
+
+    /// Forks a copy-on-write child of this system, without an accelerator.
+    ///
+    /// The child is in the identical simulated state (equal
+    /// [`divergence_fingerprint`](System::divergence_fingerprint)) and
+    /// diverges only as it is driven differently. Backing memory is shared
+    /// page-grained copy-on-write, so the fork itself allocates only
+    /// bookkeeping — a warmed multi-megabyte memory image costs `Arc`
+    /// bumps, and pages are copied lazily as either side writes.
+    ///
+    /// Host-side plumbing is deliberately *not* inherited: the child starts
+    /// with tracing disabled (call
+    /// [`enable_tracing`](System::enable_tracing) for its own session) and
+    /// builds its own shard pool lazily. If the parent has an accelerator
+    /// attached, the child gets none — use
+    /// [`fork_with`](System::fork_with) to carry accelerator state across.
+    pub fn fork(&self) -> System {
+        let sim_shards = self.sim_shards;
+        let mut adapter = self.adapter.clone();
+        if let Some(a) = &mut adapter {
+            a.clear_tracers();
+        }
+        let mut mesh = self.mesh.clone();
+        mesh.set_tracer(Tracer::disabled());
+        let mut l2s = self.l2s.clone();
+        for l2 in &mut l2s {
+            l2.set_tracer(Tracer::disabled());
+        }
+        let mut shards = self.shards.clone();
+        for s in &mut shards {
+            s.set_tracer(Tracer::disabled());
+        }
+        System {
+            cfg: self.cfg.clone(),
+            dual: self.dual.clone(),
+            mesh,
+            cores: self.cores.clone(),
+            l2s,
+            shards,
+            adapter,
+            accel: None,
+            home: self.home.clone(),
+            inject_pending: self.inject_pending.clone(),
+            inject_pending_total: self.inject_pending_total,
+            inject_dirty: self.inject_dirty.clone(),
+            core_held: self.core_held.clone(),
+            node_roles: self.node_roles.clone(),
+            mmio_ids: self.mmio_ids.clone(),
+            next_os_mmio_id: self.next_os_mmio_id,
+            page_table: self.page_table.clone(),
+            os_tasks: self.os_tasks.clone(),
+            slow_cdc: self.slow_cdc.clone(),
+            stats: self.stats,
+            executed_edges: self.executed_edges,
+            now: self.now,
+            skip_enabled: self.skip_enabled,
+            trace: None,
+            sys_tracer: Tracer::disabled(),
+            accel_tracer: Tracer::disabled(),
+            accel_busy: self.accel_busy,
+            fault_active: self.fault_active.clone(),
+            fault_budget: self
+                .fault_budget
+                .iter()
+                .map(|b| AtomicU64::new(b.load(Ordering::Relaxed)))
+                .collect(),
+            reorder_stash: self.reorder_stash.clone(),
+            mesi_checker: self.mesi_checker.clone(),
+            noc_checker: self.noc_checker.clone(),
+            adapter_violations: self.adapter_violations,
+            pending_violation: self.pending_violation.clone(),
+            faults_injected: self.faults_injected,
+            fences: self.fences,
+            accel_fenced: self.accel_fenced,
+            watchdog_sig: self.watchdog_sig,
+            watchdog_since: self.watchdog_since,
+            sim_shards,
+            shard_plan: self.shard_plan.clone(),
+            shard_lanes: (0..sim_shards)
+                .map(|_| crate::parallel::ShardLane::default())
+                .collect(),
+            shard_pool: None,
+            pool_enabled: self.pool_enabled,
+            trace_scratch: None,
+        }
+    }
+
+    /// [`fork`](System::fork), carrying accelerator state into the child.
+    ///
+    /// `Box<dyn SoftAccelerator>` cannot be cloned, so the caller supplies
+    /// a freshly built instance of the *same design*; the parent's
+    /// registered state is transferred through the design's
+    /// `save_state`/`load_state` hooks. Fails if this system has no
+    /// accelerator or if the fresh instance rejects (or fails to fully
+    /// consume) the parent's state.
+    pub fn fork_with(&self, mut accel: Box<dyn SoftAccelerator>) -> Result<System, SnapError> {
+        let Some(parent) = &self.accel else {
+            return Err(SnapError::Corrupt(
+                "fork_with on a system without an accelerator",
+            ));
+        };
+        let mut w = SnapWriter::new();
+        parent.save_state(&mut w);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        accel.load_state(&mut r)?;
+        r.expect_end()?;
+        let mut child = self.fork();
+        child.accel = Some(accel);
+        Ok(child)
+    }
+}

@@ -24,6 +24,7 @@ use duet_mem::msg::CoherenceMsg;
 use duet_noc::NodeId;
 
 /// CDC wrapper for a slow-domain Memory Hub's NoC side (FPSoC variant).
+#[derive(Clone)]
 pub(crate) struct SlowHubCdc {
     /// Fast → slow: ejected coherence messages heading into the hub.
     pub(crate) into_hub: Link<(NodeId, CoherenceMsg, Time)>,

@@ -8,6 +8,9 @@
 //! transaction id stamped at injection) so a coherence message can be
 //! followed hop by hop across router tracks.
 
+use std::io;
+use std::path::Path;
+
 use crate::{mesi, unpack_hop, unpack_mesi, unpack_noc, EventKind, TraceEvent};
 
 /// Duration given to slice events, in microseconds. Most traced actions
@@ -166,6 +169,43 @@ pub fn text_log(events: &[TraceEvent], names: &[String], dropped: u64) -> String
         ));
     }
     out
+}
+
+/// Writes [`chrome_trace`] JSON to `path`.
+///
+/// # Errors
+///
+/// Any underlying I/O error, annotated with the path.
+pub fn write_chrome_trace<P: AsRef<Path>>(
+    path: P,
+    events: &[TraceEvent],
+    names: &[String],
+    dropped: u64,
+) -> io::Result<()> {
+    write_annotated(path.as_ref(), &chrome_trace(events, names, dropped))
+}
+
+/// Writes the [`text_log`] rendering to `path`.
+///
+/// # Errors
+///
+/// Any underlying I/O error, annotated with the path.
+pub fn write_text_log<P: AsRef<Path>>(
+    path: P,
+    events: &[TraceEvent],
+    names: &[String],
+    dropped: u64,
+) -> io::Result<()> {
+    write_annotated(path.as_ref(), &text_log(events, names, dropped))
+}
+
+fn write_annotated(path: &Path, body: &str) -> io::Result<()> {
+    std::fs::write(path, body).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("writing trace to {}: {e}", path.display()),
+        )
+    })
 }
 
 /// Checks that `s` is structurally well-formed JSON (objects, arrays,

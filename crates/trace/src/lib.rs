@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! # duet-trace
 //!
 //! A zero-cost-when-off tracing and metrics subsystem for the Duet
@@ -28,7 +29,7 @@
 //! picosecond `u64`s) so every layer of the stack can instrument itself
 //! without dependency cycles.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 pub mod export;
 pub mod registry;
@@ -36,6 +37,26 @@ pub mod scoreboard;
 
 pub use registry::MetricsRegistry;
 pub use scoreboard::{LatencyHistogram, Scoreboard};
+
+/// Locks a trace ring, recovering from poisoning: a panic in some other
+/// thread mid-`push` can at worst lose that one event — instrumentation
+/// must never turn one panic into a cascade.
+fn lock_ring(ring: &Mutex<TraceBuffer>) -> MutexGuard<'_, TraceBuffer> {
+    ring.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A byte that is not a valid [`EventKind`] discriminant, found while
+/// decoding a persisted or replayed event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnknownEventKind(pub u8);
+
+impl std::fmt::Display for UnknownEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown trace event kind {:#04x}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownEventKind {}
 
 /// What happened, encoded as a compact discriminant. Each kind maps to one
 /// bit of an event mask (see [`EventKind::bit`]), so a [`TraceConfig`] can
@@ -148,6 +169,12 @@ impl EventKind {
     /// Decodes a kind from its discriminant.
     pub fn from_u8(v: u8) -> Option<EventKind> {
         KIND_TABLE.get(v as usize).copied()
+    }
+
+    /// Decodes a kind from its discriminant, with a typed error for
+    /// replay/decode paths that must not silently skip corrupt bytes.
+    pub fn try_from_u8(v: u8) -> Result<EventKind, UnknownEventKind> {
+        Self::from_u8(v).ok_or(UnknownEventKind(v))
     }
 
     /// Short lowercase label (used by both exporters).
@@ -462,7 +489,7 @@ impl Tracer {
         if self.mask & kind.bit() == 0 {
             return;
         }
-        shared.lock().unwrap().push(TraceEvent {
+        lock_ring(shared).push(TraceEvent {
             ts_ps,
             comp: self.comp,
             kind: kind as u8,
@@ -510,7 +537,10 @@ impl TraceSession {
     /// Registers a component and returns its bound [`Tracer`]. Ids are
     /// assigned in call order.
     pub fn tracer(&mut self, name: &str) -> Tracer {
-        let comp = u16::try_from(self.names.len()).expect("more than 65535 traced components");
+        // Component ids saturate: a pathological design with more than
+        // 65535 traced components shares the last track instead of
+        // panicking mid-construction.
+        let comp = u16::try_from(self.names.len()).unwrap_or(u16::MAX);
         self.names.push(name.to_string());
         Tracer {
             shared: Some(Arc::clone(&self.shared)),
@@ -531,17 +561,17 @@ impl TraceSession {
 
     /// Snapshot of the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.shared.lock().unwrap().events()
+        lock_ring(&self.shared).events()
     }
 
     /// Events lost to ring wraparound.
     pub fn dropped(&self) -> u64 {
-        self.shared.lock().unwrap().dropped()
+        lock_ring(&self.shared).dropped()
     }
 
     /// Total events captured (retained + dropped).
     pub fn total(&self) -> u64 {
-        self.shared.lock().unwrap().total()
+        lock_ring(&self.shared).total()
     }
 
     /// A handle on the session ring itself, for drains that bypass the
@@ -553,7 +583,7 @@ impl TraceSession {
 
     /// Ring capacity in events.
     pub fn capacity(&self) -> usize {
-        self.shared.lock().unwrap().capacity()
+        lock_ring(&self.shared).capacity()
     }
 
     /// Renders the Chrome trace-event JSON for this session.
@@ -566,9 +596,12 @@ impl TraceSession {
         export::text_log(&self.events(), &self.names, self.dropped())
     }
 
-    /// Derives the protocol scoreboards from the captured events.
+    /// Derives the protocol scoreboards from the captured events. An
+    /// in-process ring only ever holds valid kind bytes (`emit` takes an
+    /// [`EventKind`]), so decode failure is unreachable and folded into
+    /// an empty scoreboard rather than a panic.
     pub fn scoreboard(&self) -> scoreboard::Scoreboard {
-        scoreboard::Scoreboard::from_events(&self.events())
+        scoreboard::Scoreboard::from_events(&self.events()).unwrap_or_default()
     }
 }
 

@@ -3,8 +3,10 @@
 //! counts.
 
 use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
 
-use crate::{mesi, unpack_mesi, unpack_noc, EventKind, TraceEvent};
+use crate::{mesi, unpack_mesi, unpack_noc, EventKind, TraceEvent, UnknownEventKind};
 
 /// Number of message classes (the three coherence virtual networks).
 pub const CLASS_COUNT: usize = 3;
@@ -78,33 +80,40 @@ impl Scoreboard {
     /// Replays the event stream: matches `NocInject`/`NocEject` pairs by
     /// transaction id into per-vnet latency histograms and accumulates
     /// directory transition counts.
-    pub fn from_events(events: &[TraceEvent]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownEventKind`] on a discriminant byte that decodes to no
+    /// event kind — a replayed stream with corrupt bytes must fail
+    /// loudly, not skip samples silently. (Streams captured in-process
+    /// can only contain valid kinds.)
+    pub fn from_events(events: &[TraceEvent]) -> Result<Self, UnknownEventKind> {
         let mut sb = Scoreboard::default();
         let mut in_flight: BTreeMap<u64, (u64, usize)> = BTreeMap::new();
         for ev in events {
-            match EventKind::from_u8(ev.kind) {
-                Some(EventKind::NocInject) => {
+            match EventKind::try_from_u8(ev.kind)? {
+                EventKind::NocInject => {
                     let (_, _, vnet, _) = unpack_noc(ev.b);
                     in_flight.insert(ev.a, (ev.ts_ps, vnet.min(CLASS_COUNT - 1)));
                 }
-                Some(EventKind::NocEject) => {
+                EventKind::NocEject => {
                     if let Some((t0, vnet)) = in_flight.remove(&ev.a) {
                         sb.noc_latency[vnet].record(ev.ts_ps.saturating_sub(t0));
                     }
                 }
-                Some(EventKind::MesiTransition) => {
+                EventKind::MesiTransition => {
                     let (old, new, _) = unpack_mesi(ev.b);
                     *sb.mesi_transitions.entry((old, new)).or_insert(0) += 1;
                     *sb.mesi_lines.entry(ev.a).or_insert(0) += 1;
                 }
-                Some(EventKind::FaultInject) => sb.faults_injected += 1,
-                Some(EventKind::Fence) => sb.fences += 1,
-                Some(EventKind::CheckerViolation) => sb.checker_violations += 1,
+                EventKind::FaultInject => sb.faults_injected += 1,
+                EventKind::Fence => sb.fences += 1,
+                EventKind::CheckerViolation => sb.checker_violations += 1,
                 _ => {}
             }
         }
         sb.unmatched_injects = in_flight.len() as u64;
-        sb
+        Ok(sb)
     }
 
     /// Renders the scoreboards as a human-readable report.
@@ -140,18 +149,14 @@ impl Scoreboard {
                 mesi::label(*new)
             ));
         }
-        if !self.mesi_lines.is_empty() {
-            let hottest = self
-                .mesi_lines
-                .iter()
-                .max_by_key(|(line, n)| (**n, u64::MAX - **line))
-                .map(|(line, n)| (*line, *n))
-                .unwrap();
+        if let Some((line, n)) = self
+            .mesi_lines
+            .iter()
+            .max_by_key(|(line, n)| (**n, u64::MAX - **line))
+        {
             out.push_str(&format!(
-                "{} lines touched; hottest line {:#x} with {} transitions\n",
+                "{} lines touched; hottest line {line:#x} with {n} transitions\n",
                 self.mesi_lines.len(),
-                hottest.0,
-                hottest.1
             ));
         }
         if self.faults_injected + self.fences + self.checker_violations > 0 {
@@ -162,6 +167,23 @@ impl Scoreboard {
             ));
         }
         out
+    }
+
+    /// Writes [`report`](Scoreboard::report) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O error, annotated with the path.
+    pub fn write_report<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let path = path.as_ref();
+        let annotate = |e: io::Error| {
+            io::Error::new(
+                e.kind(),
+                format!("writing scoreboard to {}: {e}", path.display()),
+            )
+        };
+        let mut f = std::fs::File::create(path).map_err(annotate)?;
+        f.write_all(self.report().as_bytes()).map_err(annotate)
     }
 }
 
@@ -201,7 +223,7 @@ mod tests {
             ev(9_000, EventKind::NocEject, 2, pack_noc(1, 0, 2, 3)),
             ev(9_500, EventKind::NocInject, 3, pack_noc(0, 1, 1, 1)),
         ];
-        let sb = Scoreboard::from_events(&events);
+        let sb = Scoreboard::from_events(&events).unwrap();
         assert_eq!(sb.noc_latency[0].count(), 1);
         assert_eq!(sb.noc_latency[0].mean_ps(), 4_000);
         assert_eq!(sb.noc_latency[2].count(), 1);
@@ -220,7 +242,7 @@ mod tests {
             ev(2, EventKind::MesiTransition, 0x40, pack_mesi(2, 1, 2)),
             ev(3, EventKind::MesiTransition, 0x80, pack_mesi(0, 1, 1)),
         ];
-        let sb = Scoreboard::from_events(&events);
+        let sb = Scoreboard::from_events(&events).unwrap();
         assert_eq!(sb.mesi_transitions.get(&(0, 2)), Some(&1));
         assert_eq!(sb.mesi_transitions.get(&(2, 1)), Some(&1));
         assert_eq!(sb.mesi_lines.get(&0x40), Some(&2));

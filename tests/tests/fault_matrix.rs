@@ -459,6 +459,73 @@ fn degradation_leaves_nonfaulted_core_identical() {
     );
 }
 
+/// Time-travel debugging for faulted runs: checkpoint periodically while
+/// a fault plan drives the run toward its structured failure, rewind a
+/// *fresh* system to the checkpoint preceding the failure, and replay.
+/// The replay must reproduce the identical failure — same `RunError`
+/// rendering (stall snapshot included), same state fingerprint, same
+/// metrics — even though the replaying system never executed the first
+/// two-thirds of the run.
+///
+/// (No plan in the matrix trips a runtime checker deterministically —
+/// reorder swaps are absorbed or wedge the blocking protocol first — so
+/// the cell pins the deadlock-with-named-snapshot failure, which carries
+/// the checkers' verdict inside its rendering.)
+#[test]
+fn replay_from_checkpoint_preceding_failure_reproduces_it() {
+    let plan = FaultPlan::empty().with(FaultSpec::starting(
+        FaultKind::NocDrop { node: 1, count: 1 },
+        Time::from_us(0),
+    ));
+    let deadline = Time::from_us(300);
+    let build = move || two_core_system(plan.clone());
+
+    // Reference: straight run into the structured failure.
+    let mut reference = build();
+    let ref_err = reference
+        .run_until_halt(deadline)
+        .expect_err("a dropped message in a blocking protocol must surface");
+    let ref_fp = reference.divergence_fingerprint();
+
+    // Checkpointed run: snapshot every 100 µs. The wedged clock still
+    // advances, so every boundary before the deadline is reached; the
+    // last snapshot (200 µs) is the checkpoint preceding the failure.
+    let mut sys = build();
+    let mut checkpoint: Option<(Time, Vec<u8>)> = None;
+    for us in [100u64, 200] {
+        let boundary = Time::from_us(us);
+        sys.run_until_time(boundary);
+        checkpoint = Some((boundary, sys.snapshot()));
+    }
+    let (at, bytes) = checkpoint.expect("checkpoints taken");
+    assert_eq!(at, Time::from_us(200));
+
+    // Rewind a fresh system to the pre-failure checkpoint and replay.
+    let mut replay = build();
+    replay.restore(&bytes).expect("restore own snapshot");
+    let replay_err = replay
+        .run_until_halt(deadline)
+        .expect_err("replay must hit the same failure");
+    assert_eq!(
+        format!("{ref_err}"),
+        format!("{replay_err}"),
+        "replayed failure must render identically (stall snapshot and all)"
+    );
+    assert_eq!(
+        ref_fp,
+        replay.divergence_fingerprint(),
+        "replayed system must land in the identical state"
+    );
+    let metrics = |s: &System| {
+        s.metrics_registry()
+            .iter()
+            .filter(|(k, _)| !k.starts_with("process."))
+            .map(|(k, v)| format!("{k}={v}\n"))
+            .collect::<String>()
+    };
+    assert_eq!(metrics(&reference), metrics(&replay));
+}
+
 /// `FaultPlan::randomized` is a pure function of its seed tuple.
 #[test]
 fn randomized_plans_are_reproducible() {

@@ -69,9 +69,11 @@ fn fingerprint(sys: &System, halt: Time, quiesced: Time, mem: &[(u64, usize)]) -
 }
 
 /// ProcOnly variant: two-core producer/consumer message passing.
-fn proc_only_system() -> System {
+fn proc_only_system(threads: usize) -> System {
     let iters = 8i64;
-    let mut sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
+    let mut cfg = SystemConfig::proc_only(2);
+    cfg.sim_threads = threads;
+    let mut sys = System::new(cfg).expect("valid config");
     let mut a = Asm::new();
     a.label("producer");
     let (data, flag, i) = (regs::S[0], regs::S[1], regs::S[2]);
@@ -108,9 +110,11 @@ fn proc_only_system() -> System {
 
 /// Duet variant: the quickstart-style popcount accelerator invoked through
 /// shadow registers, reading a vector coherently via the Proxy Cache.
-fn duet_system() -> System {
+fn duet_system(threads: usize) -> System {
     use duet_core::RegMode;
-    let mut sys = System::new(SystemConfig::dolly(1, 1, 189.0)).expect("valid config");
+    let mut cfg = SystemConfig::dolly(1, 1, 189.0);
+    cfg.sim_threads = threads;
+    let mut sys = System::new(cfg).expect("valid config");
     sys.set_reg_mode(0, RegMode::FpgaBound);
     sys.set_reg_mode(1, RegMode::CpuBound);
     sys.attach_accelerator(Box::new(PopcountAccel::new(true)));
@@ -133,8 +137,10 @@ fn duet_system() -> System {
 }
 
 /// FPSoC variant: slow-domain hubs behind CDC FIFOs, shared-memory loop.
-fn fpsoc_system() -> System {
-    let mut sys = System::new(SystemConfig::fpsoc(2, 1, 137.0)).expect("valid config");
+fn fpsoc_system(threads: usize) -> System {
+    let mut cfg = SystemConfig::fpsoc(2, 1, 137.0);
+    cfg.sim_threads = threads;
+    let mut sys = System::new(cfg).expect("valid config");
     let mut a = Asm::new();
     a.label("main");
     a.li(regs::T[0], 0x4000);
@@ -165,6 +171,148 @@ fn run_fingerprint(build: impl Fn() -> System, skip: bool, mem: &[(u64, usize)])
     fingerprint(&sys, halt, quiesced, mem)
 }
 
+/// The metrics dump minus the `process.*` namespace: those two counters
+/// are process-wide throughput atomics shared by every system in the
+/// process, so they accumulate across the reference/probe runs and are not
+/// part of any single run's state.
+fn per_run_metrics(sys: &System) -> String {
+    sys.metrics_registry()
+        .iter()
+        .filter(|(k, _)| !k.starts_with("process."))
+        .map(|(k, v)| format!("{k} = {v}\n"))
+        .collect()
+}
+
+/// One mid-run checkpoint cell: run uninterrupted as the reference, then in
+/// a second "process" snapshot at roughly half the halt time, restore the
+/// bytes into a third freshly built system, and continue. Fingerprints,
+/// metrics dumps, and (when tracing) trace text logs must be byte-identical.
+///
+/// Tracing is enabled *at the checkpoint* in both the reference and the
+/// restored run, so the two trace windows cover the same interval. The
+/// attach must not perturb anything — that invariant is part of what this
+/// cell checks.
+fn midrun_cell(
+    name: &str,
+    build: &dyn Fn(usize) -> System,
+    mem: &[(u64, usize)],
+    threads: usize,
+    skip: bool,
+    trace: bool,
+) {
+    use duet_trace::TraceConfig;
+    let deadline = Time::from_us(10_000);
+    let label = format!("{name} threads={threads} skip={skip} trace={trace}");
+
+    // Probe run: find the halt time so the checkpoint lands mid-run.
+    let mut probe = build(threads);
+    probe.set_edge_skipping(skip);
+    let halt = probe
+        .run_until_halt(deadline)
+        .unwrap_or_else(|e| panic!("{label}: probe run failed: {e}"));
+    let mid = Time::from_ps(halt.as_ps() / 2);
+    assert!(mid > Time::ZERO, "{label}: degenerate mid-point");
+    drop(probe);
+
+    // Reference: uninterrupted, tracing attached at the checkpoint time.
+    let mut reference = build(threads);
+    reference.set_edge_skipping(skip);
+    reference.run_until_time(mid);
+    if trace {
+        reference.enable_tracing(&TraceConfig::default());
+    }
+    let halt_a = reference
+        .run_until_halt(deadline)
+        .unwrap_or_else(|e| panic!("{label}: reference run failed: {e}"));
+    let q_a = reference
+        .quiesce(Time::from_us(11_000))
+        .unwrap_or_else(|e| panic!("{label}: reference quiesce failed: {e}"));
+    let fp_a = fingerprint(&reference, halt_a, q_a, mem);
+    let metrics_a = per_run_metrics(&reference);
+    let trace_a = reference.trace_text_log();
+
+    // Checkpoint "process": run to the mid-point and serialize.
+    let mut writer = build(threads);
+    writer.set_edge_skipping(skip);
+    writer.run_until_time(mid);
+    let snap = writer.snapshot();
+    drop(writer);
+
+    // Fresh "process": rebuild the same structure, restore, continue.
+    let mut restored = build(threads);
+    restored.set_edge_skipping(skip);
+    restored
+        .restore(&snap)
+        .unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+    if trace {
+        restored.enable_tracing(&TraceConfig::default());
+    }
+    let halt_b = restored
+        .run_until_halt(deadline)
+        .unwrap_or_else(|e| panic!("{label}: restored run failed: {e}"));
+    let q_b = restored
+        .quiesce(Time::from_us(11_000))
+        .unwrap_or_else(|e| panic!("{label}: restored quiesce failed: {e}"));
+    let fp_b = fingerprint(&restored, halt_b, q_b, mem);
+
+    assert_eq!(fp_a, fp_b, "{label}: fingerprint diverged after restore");
+    assert_eq!(
+        metrics_a,
+        per_run_metrics(&restored),
+        "{label}: metrics registry diverged after restore"
+    );
+    if trace {
+        assert_eq!(
+            trace_a,
+            restored.trace_text_log(),
+            "{label}: trace text log diverged after restore"
+        );
+    }
+}
+
+#[test]
+fn midrun_snapshot_restore_continues_bit_identically() {
+    // `build(threads)` must construct the *identical* structure the
+    // snapshot writer had (config, programs, accelerator design) — the
+    // restore protocol rebuilds structure, snapshots carry only state.
+    type Case<'a> = (&'a str, &'a dyn Fn(usize) -> System, &'a [(u64, usize)]);
+    let cases: [Case; 3] = [
+        ("proc_only", &proc_only_system, &[(0x1000, 1), (0x2000, 1)]),
+        ("duet", &duet_system, &[(0x2_0000, 1)]),
+        ("fpsoc", &fpsoc_system, &[(0x4000, 1)]),
+    ];
+    for (name, build, mem) in cases {
+        for threads in [1usize, 4] {
+            for skip in [false, true] {
+                for trace in [false, true] {
+                    midrun_cell(name, build, mem, threads, skip, trace);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_mismatched_structure() {
+    use duet_sim::SnapError;
+    // Snapshot of the Duet system (accelerator attached)...
+    let mut writer = duet_system(1);
+    writer.run_until_time(Time::from_ns(200));
+    let snap = writer.snapshot();
+
+    // ...must not load into a system built from a different config
+    // (header hash mismatch fails before any section is read)...
+    let mut wrong_cfg = proc_only_system(1);
+    assert!(matches!(
+        wrong_cfg.restore(&snap),
+        Err(SnapError::ConfigHash { .. })
+    ));
+
+    // ...and truncated bytes fail loudly rather than half-loading.
+    let mut target = duet_system(1);
+    assert!(target.restore(&snap[..snap.len() - 1]).is_err());
+}
+
 #[test]
 fn golden_fingerprints_match_pre_refactor_values() {
     let mut all = String::new();
@@ -176,11 +324,11 @@ fn golden_fingerprints_match_pre_refactor_values() {
     let cases: [Case; 3] = [
         (
             "proc_only",
-            Box::new(proc_only_system),
+            Box::new(|| proc_only_system(1)),
             &[(0x1000, 1), (0x2000, 1)],
         ),
-        ("duet", Box::new(duet_system), &[(0x2_0000, 1)]),
-        ("fpsoc", Box::new(fpsoc_system), &[(0x4000, 1)]),
+        ("duet", Box::new(|| duet_system(1)), &[(0x2_0000, 1)]),
+        ("fpsoc", Box::new(|| fpsoc_system(1)), &[(0x4000, 1)]),
     ];
     for (name, build, mem) in &cases {
         for skip in [false, true] {
