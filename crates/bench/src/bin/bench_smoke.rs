@@ -14,22 +14,28 @@
 //! 3. **noc_hotspot_8x8 / noc_hotspot_16x16** — intra-run scaling: the
 //!    `mesh_8x8` / `mesh_16x16` presets with every core hammering a
 //!    shared hotspot region, swept over 1/2/4/8 *simulation* threads
-//!    (`SystemConfig::sim_threads`). These cells run with one sweep
-//!    worker each — sweep workers multiply with intra-run threads, so
-//!    the smoke run keeps the product equal to the sim-thread count.
+//!    (`SystemConfig::sim_threads`) and — on a second axis — over
+//!    1/2/4 *mesh-tick* shards (`SystemConfig::mesh_shards`) at one
+//!    sim thread. These cells run with one sweep worker each — sweep
+//!    workers multiply with intra-run threads, so the smoke run keeps
+//!    the product equal to the sim-thread count. The mesh-shard axis
+//!    also yields the serial-vs-sharded `mesh_tick` cell: shards=1 is
+//!    the serial mesh tick, shards=4 the sharded schedule (inline on a
+//!    single-CPU host), and the recorded overhead percentage is the
+//!    pass-split cost.
 //!
 //! 4. **snapshot costs** — serialized snapshot size plus `snapshot()`,
 //!    `restore()`, and `fork()` wall time for the `proc_only_4`,
 //!    `mesh_8x8`, and `mesh_16x16` presets (warmed 500 ns), recorded
 //!    under the `snapshot` key.
 //!
-//! Results land in `BENCH_pr7.json` (repo root by default, or the path
+//! Results land in `BENCH_pr8.json` (repo root by default, or the path
 //! given as the first non-flag argument) as edges/sec per scenario —
-//! scalar for the single-config scenarios, a `threads` map for the
-//! scaling ones — plus the `snapshot` cost table (schema
-//! `duet-bench-smoke-v3`). The file is committed so the perf record
-//! survives in-tree; CI regenerates it on every push to catch harness
-//! rot and big regressions.
+//! scalar for the single-config scenarios, `threads` and `mesh_shards`
+//! maps for the scaling ones — plus the `mesh_tick` overhead cell and
+//! the `snapshot` cost table (schema `duet-bench-smoke-v4`). The file
+//! is committed so the perf record survives in-tree; CI regenerates it
+//! on every push to catch harness rot and big regressions.
 //!
 //! Run: `cargo run --release -p duet-bench --bin bench_smoke [out.json]`
 
@@ -114,11 +120,17 @@ fn stream_stores_edges_per_sec() -> f64 {
 /// One intra-run-scaling cell: every core of `cfg` streams stores into a
 /// shared hotspot window (lines interleave across L3 homes, so the
 /// traffic crosses shard boundaries), with the simulation sharded over
-/// `threads` threads. Returns edges/sec and the final simulated time —
-/// the latter is printed so a scaling sweep visibly produces identical
-/// simulated results at every thread count.
-fn noc_hotspot_edges_per_sec(mut cfg: SystemConfig, threads: usize) -> (f64, Time) {
+/// `threads` threads and the mesh tick over `mesh_shards` shards
+/// (`0` = follow the thread count). Returns edges/sec and the final
+/// simulated time — the latter is printed so a scaling sweep visibly
+/// produces identical simulated results at every cell.
+fn noc_hotspot_edges_per_sec(
+    mut cfg: SystemConfig,
+    threads: usize,
+    mesh_shards: usize,
+) -> (f64, Time) {
     cfg.sim_threads = threads;
+    cfg.mesh_shards = mesh_shards;
     let mut a = duet_cpu::asm::Asm::new();
     a.label("main");
     a.li(duet_cpu::isa::regs::T[0], 0x20_0000);
@@ -228,13 +240,14 @@ fn snapshot_costs_sweep() -> Vec<(&'static str, SnapshotCosts)> {
     out
 }
 
-/// Sweeps a hotspot scenario over simulation-thread counts. Each cell
-/// runs alone (one sweep worker): sweep × intra-run threads multiply.
+/// Sweeps a hotspot scenario over simulation-thread counts (mesh shards
+/// following the thread count, the default). Each cell runs alone (one
+/// sweep worker): sweep × intra-run threads multiply.
 fn noc_hotspot_sweep(name: &str, cfg: &SystemConfig) -> Vec<(usize, f64)> {
     let mut points = Vec::new();
     let mut end_at_one = None;
     for threads in [1usize, 2, 4, 8] {
-        let (eps, end) = noc_hotspot_edges_per_sec(cfg.clone(), threads);
+        let (eps, end) = noc_hotspot_edges_per_sec(cfg.clone(), threads, 0);
         match end_at_one {
             None => end_at_one = Some(end),
             Some(t0) => assert_eq!(
@@ -251,6 +264,31 @@ fn noc_hotspot_sweep(name: &str, cfg: &SystemConfig) -> Vec<(usize, f64)> {
     points
 }
 
+/// Sweeps a hotspot scenario over mesh-tick shard counts at one sim
+/// thread. Shards=1 is the serial mesh tick; higher counts run the
+/// sharded schedule — pooled on a multi-core host, inline on a
+/// single-CPU one — and must land on the identical simulated end time.
+fn mesh_shard_sweep(name: &str, cfg: &SystemConfig) -> Vec<(usize, f64)> {
+    let mut points = Vec::new();
+    let mut end_at_one = None;
+    for shards in [1usize, 2, 4] {
+        let (eps, end) = noc_hotspot_edges_per_sec(cfg.clone(), 1, shards);
+        match end_at_one {
+            None => end_at_one = Some(end),
+            Some(t0) => assert_eq!(
+                t0, end,
+                "{name}: simulated end time diverged at {shards} mesh shards"
+            ),
+        }
+        println!(
+            "# {name} mesh_shards={shards} throughput: {eps:.3e} edges/sec (sim end {} ps)",
+            end.as_ps()
+        );
+        points.push((shards, eps));
+    }
+    points
+}
+
 fn main() -> std::io::Result<()> {
     // First non-flag argument (skipping flag values) is the output path.
     let mut out_path = None;
@@ -262,24 +300,41 @@ fn main() -> std::io::Result<()> {
             out_path = Some(a);
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr8.json".to_string());
 
     let fig9 = fig9_edges_per_sec();
     let stream = stream_stores_edges_per_sec();
     let hotspot_8 = noc_hotspot_sweep("noc_hotspot_8x8", &SystemConfig::mesh_8x8());
     let hotspot_16 = noc_hotspot_sweep("noc_hotspot_16x16", &SystemConfig::mesh_16x16());
+    let mesh_8 = mesh_shard_sweep("noc_hotspot_8x8", &SystemConfig::mesh_8x8());
+    let mesh_16 = mesh_shard_sweep("noc_hotspot_16x16", &SystemConfig::mesh_16x16());
     let snapshots = snapshot_costs_sweep();
+
+    // The serial-vs-sharded mesh-tick cell: shards=1 vs shards=4 on the
+    // 16×16 hotspot at one sim thread. On a single-CPU host the sharded
+    // cell runs inline, so a positive overhead is the pure pass-split
+    // cost; on a multi-core host it becomes a speedup (negative).
+    let serial_eps = mesh_16[0].1;
+    let sharded4_eps = mesh_16
+        .iter()
+        .find(|(s, _)| *s == 4)
+        .map_or(serial_eps, |&(_, e)| e);
+    let mesh_tick_overhead_pct = (serial_eps / sharded4_eps - 1.0) * 100.0;
+    println!(
+        "# mesh_tick serial {serial_eps:.3e} vs 4-shard {sharded4_eps:.3e} edges/sec \
+         (overhead {mesh_tick_overhead_pct:+.1}%)"
+    );
 
     // Hand-rolled JSON: two decimal places of mantissa are plenty for a
     // trajectory record, and no serde dependency is needed.
-    let fmt_threads = |points: &[(usize, f64)]| {
+    let fmt_axis = |key: &str, points: &[(usize, f64)]| {
         let cells: Vec<String> = points
             .iter()
             .map(|(t, eps)| format!("\"{t}\": {eps:.3e}"))
             .collect();
-        format!("{{ \"threads\": {{ {} }} }}", cells.join(", "))
+        format!("\"{key}\": {{ {} }}", cells.join(", "))
     };
-    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v3\",\n");
+    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v4\",\n");
     body.push_str("  \"unit\": \"edges_per_sec\",\n  \"scenarios\": {\n");
     if let Some(f) = fig9 {
         body.push_str(&format!("    \"fig9_latency_sweep\": {f:.3e},\n"));
@@ -288,12 +343,19 @@ fn main() -> std::io::Result<()> {
         "    \"stream_stores_p4_coherence_heavy\": {stream:.3e},\n"
     ));
     body.push_str(&format!(
-        "    \"noc_hotspot_8x8\": {},\n",
-        fmt_threads(&hotspot_8)
+        "    \"noc_hotspot_8x8\": {{ {}, {} }},\n",
+        fmt_axis("threads", &hotspot_8),
+        fmt_axis("mesh_shards", &mesh_8)
     ));
     body.push_str(&format!(
-        "    \"noc_hotspot_16x16\": {}\n  }},\n",
-        fmt_threads(&hotspot_16)
+        "    \"noc_hotspot_16x16\": {{ {}, {} }}\n  }},\n",
+        fmt_axis("threads", &hotspot_16),
+        fmt_axis("mesh_shards", &mesh_16)
+    ));
+    body.push_str(&format!(
+        "  \"mesh_tick\": {{ \"serial_eps\": {serial_eps:.3e}, \
+         \"sharded4_eps\": {sharded4_eps:.3e}, \
+         \"inline_overhead_pct\": {mesh_tick_overhead_pct:.1} }},\n"
     ));
     body.push_str("  \"snapshot\": {\n");
     let cells: Vec<String> = snapshots

@@ -60,6 +60,82 @@ pub fn partition_balanced(weights: &[u64], parts: usize) -> Vec<std::ops::Range<
     out
 }
 
+/// Per-item load EWMAs folded at fixed simulated-time quanta, feeding the
+/// adaptive shard rebalancer.
+///
+/// Work counters accumulate in a caller-owned `accum` array between folds;
+/// [`fold`](LoadEwma::fold) halves each EWMA into the new quantum
+/// (`v = (v + accum) / 2`) and applies one extra pure-decay halving per
+/// *additionally* elapsed quantum. Because the fold is checked before every
+/// executed tick, all accumulated work belongs to the quantum of the last
+/// fold — so folding once with `k` decay steps is bit-identical to folding
+/// at every quantum boundary exhaustively, which is what keeps the shard
+/// layout a pure function of simulated state under edge-skip (skipped idle
+/// quanta contribute exactly the decay they would have contributed had
+/// their edges executed).
+#[derive(Clone, Debug)]
+pub struct LoadEwma {
+    values: Vec<u64>,
+    last_quantum: u64,
+}
+
+impl LoadEwma {
+    /// EWMAs for `items` load counters, all starting at zero.
+    pub fn new(items: usize) -> Self {
+        LoadEwma {
+            values: vec![0; items],
+            last_quantum: 0,
+        }
+    }
+
+    /// The folded per-item load values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Folds `accum` into the EWMAs if `quantum` advanced past the last
+    /// fold, zeroing `accum`. Returns whether any value changed (callers
+    /// skip repartitioning when nothing did, so a long-idle mesh pays
+    /// nothing per tick). Decay steps are capped: every tracked value is
+    /// far below 2^63, so enough halvings reach zero exactly as an
+    /// uncapped chain would.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `debug_assert`) if `accum` has a different length than
+    /// the EWMA array.
+    pub fn fold(&mut self, accum: &mut [u64], quantum: u64) -> bool {
+        debug_assert_eq!(accum.len(), self.values.len());
+        if quantum <= self.last_quantum {
+            return false;
+        }
+        let steps = (quantum - self.last_quantum).min(64);
+        self.last_quantum = quantum;
+        let mut changed = false;
+        for (v, a) in self.values.iter_mut().zip(accum.iter_mut()) {
+            let old = *v;
+            let mut nv = (*v + *a) / 2;
+            for _ in 1..steps {
+                nv /= 2;
+            }
+            *a = 0;
+            if nv != old {
+                changed = true;
+            }
+            *v = nv;
+        }
+        changed
+    }
+
+    /// Resets every EWMA and the quantum cursor to the initial state (used
+    /// after a snapshot restore: the rebalancer is host-side machinery and
+    /// re-learns the load profile from zero).
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0);
+        self.last_quantum = 0;
+    }
+}
+
 /// A reusable two-phase barrier for per-edge fork/join between one
 /// coordinator and `workers` persistent worker threads.
 ///
@@ -273,6 +349,49 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn ewma_fold_skips_stale_quanta_exactly() {
+        // Folding once after k quanta must equal folding at every quantum
+        // boundary when the skipped quanta carried no work.
+        let mut skip = LoadEwma::new(3);
+        let mut exhaustive = LoadEwma::new(3);
+        let mut accum_a = [40u64, 7, 0];
+        let mut accum_b = [40u64, 7, 0];
+        // Work accumulated during quantum 0; skip jumps straight to q=4.
+        assert!(skip.fold(&mut accum_a, 4));
+        for q in 1..=4 {
+            exhaustive.fold(&mut accum_b, q);
+        }
+        assert_eq!(skip.values(), exhaustive.values());
+        assert_eq!(skip.values(), &[2, 0, 0]); // (40/2)/2/2/2, (7/2)>>3, 0
+        assert_eq!(accum_a, [0, 0, 0], "fold zeroes the accumulators");
+    }
+
+    #[test]
+    fn ewma_fold_reports_change_and_idles_quietly() {
+        let mut e = LoadEwma::new(2);
+        let mut accum = [8u64, 0];
+        assert!(e.fold(&mut accum, 1), "new work changes values: 0 -> 4");
+        assert!(
+            e.fold(&mut accum, 2),
+            "decay changes a non-zero value: 4 -> 2"
+        );
+        assert!(e.fold(&mut accum, 3), "2 -> 1");
+        assert!(e.fold(&mut accum, 4), "1 -> 0");
+        assert!(
+            !e.fold(&mut accum, 5),
+            "all-zero idle fold reports no change"
+        );
+        assert!(!e.fold(&mut accum, 5), "stale quantum is a no-op");
+        e.reset();
+        assert_eq!(e.values(), &[0, 0]);
+        let mut accum2 = [u64::MAX / 4, 1];
+        // A huge gap fully decays even large values (cap is exact, not lossy).
+        assert!(e.fold(&mut accum2, 1));
+        assert!(e.fold(&mut accum2, 100_000), "huge value decays to zero");
+        assert_eq!(e.values(), &[0, 0]);
     }
 
     /// Regression test for the lost-wakeup race: pause long enough before

@@ -113,6 +113,14 @@ pub struct SystemConfig {
     ///
     /// [`parallel_map`]: https://docs.rs/duet-bench
     pub sim_threads: usize,
+    /// Mesh-tick shards: the router grid is split into this many contiguous
+    /// weight-balanced ranges, ticked concurrently with boundary-crossing
+    /// flits replayed at a deterministic merge. `0` (the default) follows
+    /// the resolved `sim_threads` value; `1` forces the serial mesh tick.
+    /// Overridable at run time via `DUET_MESH_SHARDS`. Like `sim_threads`,
+    /// results are bit-identical for any value — fingerprints, metrics, and
+    /// traces do not depend on the shard layout.
+    pub mesh_shards: usize,
 }
 
 impl SystemConfig {
@@ -130,6 +138,7 @@ impl SystemConfig {
             mmio_base: 0x4000_0000,
             faults: FaultPlan::empty(),
             sim_threads: 1,
+            mesh_shards: 0,
         }
     }
 
@@ -155,6 +164,7 @@ impl SystemConfig {
             mmio_base: 0x4000_0000,
             faults: FaultPlan::empty(),
             sim_threads: 1,
+            mesh_shards: 0,
         }
     }
 
@@ -200,9 +210,10 @@ impl SystemConfig {
     ///
     /// Stamped into snapshot headers so a snapshot taken under one
     /// configuration refuses to load into a system built from another.
-    /// `sim_threads` is deliberately excluded: shard count only trades host
-    /// CPUs for wall-clock time (results are bit-identical), so a snapshot
-    /// taken at one thread count must restore at any other. The fault plan
+    /// `sim_threads` and `mesh_shards` are deliberately excluded: shard
+    /// counts only trade host CPUs for wall-clock time (results are
+    /// bit-identical), so a snapshot taken at one thread or mesh-shard
+    /// count must restore at any other. The fault plan
     /// *is* folded in — replaying a checkpoint under a different plan would
     /// silently change the run.
     pub fn config_hash(&self) -> u64 {
@@ -416,6 +427,7 @@ mod tests {
         assert_eq!(c.mesh_dims(), (16, 16));
         assert_eq!(c.validate(), Ok(()));
         assert_eq!(c.sim_threads, 1, "presets default to the serial loop");
+        assert_eq!(c.mesh_shards, 0, "mesh shards default to follow threads");
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! Intra-run parallel simulation: the sharded fast-edge component passes.
 //!
-//! The fast edge is split into three regions:
+//! The fast edge is split into four regions:
 //!
-//! 1. **Serial prelude** (coordinator only): OS tasks, injection pump,
-//!    mesh tick, ejection dispatch. The mesh tick *must* stay serial —
-//!    router arbitration probes neighbor routers' occupancy in ascending
-//!    node order, so its intra-edge visibility is inherently sequential.
-//! 2. **Sharded component passes**: the per-node components (private L2s,
+//! 1. **Serial prelude** (coordinator only): OS tasks, injection pump.
+//! 2. **Sharded mesh tick** ([`System::mesh_pass`]): the router grid is
+//!    partitioned into contiguous ranges ticked concurrently; each
+//!    shard's switch arbitration works against a start-of-tick fullness
+//!    snapshot, defers every queue mutation outside its range into a
+//!    boundary-exchange lane, and the coordinator replays the lanes at a
+//!    deterministic merge in (shard, port, queue) order — conservative
+//!    PDES with the one-cycle link latency as lookahead, one pool epoch
+//!    per mesh tick. The partition adapts to observed per-router load at
+//!    fixed simulated-time quanta (see `duet-noc`). Ejection dispatch
+//!    stays serial after the merge.
+//! 3. **Sharded component passes**: the per-node components (private L2s,
 //!    L3 shards, cores) are partitioned into contiguous node ranges — one
 //!    [`ShardCtx`] per shard — and run concurrently between two epoch
 //!    barriers. The serial loop is the degenerate case: one full-range
 //!    shard through the *same* code path.
-//! 3. **Serial postlude**: the adapter pass, then a deterministic merge
+//! 4. **Serial postlude**: the adapter pass, then a deterministic merge
 //!    of per-shard output lanes (deferred MMIO inserts, injection-pipe
 //!    counters, dirty-node lists) in ascending shard order.
 //!
@@ -132,6 +139,22 @@ pub(crate) fn resolve_sim_shards(cfg_threads: usize, nodes: usize) -> usize {
         .unwrap_or(cfg_threads);
     let resolved = if requested == 0 {
         host_parallelism()
+    } else {
+        requested
+    };
+    resolved.clamp(1, nodes.max(1))
+}
+
+/// Resolves the effective mesh-tick shard count: `DUET_MESH_SHARDS`
+/// overrides the config, `0` means "follow the resolved `sim_threads`
+/// shard count", and the result is clamped to `[1, nodes]`.
+pub(crate) fn resolve_mesh_shards(cfg_value: usize, sim_shards: usize, nodes: usize) -> usize {
+    let requested = std::env::var("DUET_MESH_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(cfg_value);
+    let resolved = if requested == 0 {
+        sim_shards
     } else {
         requested
     };
@@ -377,6 +400,32 @@ fn assert_shard_payloads_thread_safe() {
     assert_sync::<AtomicU64>();
 }
 
+/// One unit of work the pool runs for a single epoch: either a
+/// component-pass shard or a mesh-tick shard. Both carry raw,
+/// range-disjoint views into `System`-owned storage under the same
+/// barrier protocol.
+pub(crate) enum ShardJob {
+    /// The per-node component passes of one shard ([`ShardCtx::run`]).
+    Passes(RawShardView),
+    /// One shard of the sharded mesh tick (`duet_noc::MeshShardTask`).
+    Mesh(duet_noc::MeshShardTask<DuetMsg>),
+}
+
+/// Runs one job.
+///
+/// # Safety
+///
+/// The job's view must point into live storage, its range disjoint from
+/// every other concurrently-running job, with no other access to that
+/// storage until the epoch closes (see [`RawShardView`] and
+/// `duet_noc::MeshShardTask`).
+unsafe fn run_job(job: ShardJob) {
+    match job {
+        ShardJob::Passes(v) => run_raw(v),
+        ShardJob::Mesh(t) => t.run(),
+    }
+}
+
 /// Runs one shard's passes through a raw view.
 ///
 /// # Safety
@@ -415,7 +464,7 @@ unsafe fn run_raw(v: RawShardView) {
 /// owning [`System`].
 pub(crate) struct ShardPool {
     barrier: Arc<EpochBarrier>,
-    views: Arc<Mutex<Vec<Option<RawShardView>>>>,
+    views: Arc<Mutex<Vec<Option<ShardJob>>>>,
     /// First panic payload caught on a worker thread, re-raised by
     /// `run_epoch` on the coordinator once the epoch has closed.
     panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
@@ -427,7 +476,7 @@ impl ShardPool {
     /// Spawns `workers` persistent shard workers.
     pub(crate) fn new(workers: usize) -> Self {
         let barrier = Arc::new(EpochBarrier::new(workers));
-        let views: Arc<Mutex<Vec<Option<RawShardView>>>> = Arc::new(Mutex::new(Vec::new()));
+        let views: Arc<Mutex<Vec<Option<ShardJob>>>> = Arc::new(Mutex::new(Vec::new()));
         let panic: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
         let handles = (0..workers)
             .map(|w| {
@@ -452,26 +501,32 @@ impl ShardPool {
         }
     }
 
-    /// Runs one epoch: publishes `views[1..]` to the workers, runs
-    /// `views[0]` on the calling thread, and joins at the barrier.
+    /// Runs one epoch: publishes `jobs[1..]` to the workers, runs
+    /// `jobs[0]` on the calling thread, and joins at the barrier. Fewer
+    /// jobs than `workers + 1` is fine — surplus workers see an empty
+    /// slot and go straight back to the barrier (the pool is sized for
+    /// the larger of the component-pass and mesh-tick plans, and the two
+    /// may differ).
     ///
     /// A panic inside any shard — worker or coordinator — is deferred
     /// until the barrier has closed (every view dropped, no worker left
     /// holding aliases into `System`) and then resumed here, so component
     /// panics surface exactly like the serial loop's instead of
     /// deadlocking `wait_done`.
-    pub(crate) fn run_epoch(&mut self, mut views: Vec<RawShardView>) {
-        debug_assert_eq!(views.len(), self.barrier.workers() + 1);
-        let mine = views.remove(0);
+    pub(crate) fn run_epoch(&mut self, mut jobs: Vec<ShardJob>) {
+        debug_assert!(!jobs.is_empty());
+        debug_assert!(jobs.len() <= self.barrier.workers() + 1);
+        let mine = jobs.remove(0);
         {
             let mut slots = lock_ignore_poison(&self.views);
             slots.clear();
-            slots.extend(views.into_iter().map(Some));
+            slots.extend(jobs.into_iter().map(Some));
+            slots.resize_with(self.barrier.workers(), || None);
         }
         self.epoch += 1;
         self.barrier.open(self.epoch);
-        // SAFETY: shard 0's range is disjoint from every published view.
-        let mine_result = catch_unwind(AssertUnwindSafe(|| unsafe { run_raw(mine) }));
+        // SAFETY: shard 0's range is disjoint from every published job.
+        let mine_result = catch_unwind(AssertUnwindSafe(|| unsafe { run_job(mine) }));
         self.barrier.wait_done(self.epoch);
         if let Some(payload) = lock_ignore_poison(&self.panic).take() {
             resume_unwind(payload);
@@ -494,7 +549,7 @@ impl Drop for ShardPool {
 fn worker_main(
     w: usize,
     barrier: Arc<EpochBarrier>,
-    views: Arc<Mutex<Vec<Option<RawShardView>>>>,
+    views: Arc<Mutex<Vec<Option<ShardJob>>>>,
     panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
 ) {
     let mut last = 0u64;
@@ -508,7 +563,7 @@ fn worker_main(
             // coordinator would spin in `wait_done` forever — so catch
             // it here; `run_epoch` re-raises the recorded payload on the
             // coordinator after the epoch closes.
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe { run_raw(v) })) {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe { run_job(v) })) {
                 lock_ignore_poison(&panic).get_or_insert(payload);
             }
         }
@@ -516,10 +571,59 @@ fn worker_main(
     }
 }
 
+/// Below this many active routers the sharded mesh tick runs inline:
+/// waking the pool costs more than arbitrating a near-idle mesh, and the
+/// inline path runs the *same* sharded schedule, so results are
+/// unaffected either way. `DUET_SIM_FORCE_THREADS=1` lowers the
+/// system's threshold to 0 (see `System::mesh_pool_min_active`).
+pub(crate) const MESH_POOL_MIN_ACTIVE: usize = 16;
+
 impl System {
     /// The effective shard count for this system's fast-edge passes.
     pub fn sim_shards(&self) -> usize {
         self.sim_shards
+    }
+
+    /// The effective mesh-tick shard count.
+    pub fn mesh_shards(&self) -> usize {
+        self.mesh_shards
+    }
+
+    /// The mesh tick of a fast edge. With one mesh shard (or no worker
+    /// pool) this is `Mesh::tick` — which itself runs the sharded
+    /// schedule inline when more than one shard is configured, so the
+    /// deferred-lane merge is exercised identically. With a pool, the
+    /// shard tasks run as one epoch and the coordinator replays the
+    /// boundary lanes afterwards.
+    pub(crate) fn mesh_pass(&mut self, now: Time) {
+        if self.mesh_shards <= 1
+            || !self.pool_enabled
+            || self.mesh.active_len() < self.mesh_pool_min_active
+        {
+            self.mesh.tick(now);
+            return;
+        }
+        let tasks = self.mesh.begin_tick(now);
+        if tasks.len() <= 1 {
+            for t in &tasks {
+                // SAFETY: tasks cover disjoint router ranges and nothing
+                // else touches the mesh until `finish_tick`.
+                unsafe { t.run() };
+            }
+        } else {
+            let pool = self.ensure_pool();
+            pool.run_epoch(tasks.into_iter().map(ShardJob::Mesh).collect());
+        }
+        self.mesh.finish_tick(now);
+    }
+
+    /// The shared worker pool, sized for the larger of the component-pass
+    /// and mesh-tick plans (epochs with fewer jobs leave the surplus
+    /// workers idle at the barrier).
+    fn ensure_pool(&mut self) -> &mut ShardPool {
+        let workers = self.sim_shards.max(self.mesh_shards).saturating_sub(1);
+        self.shard_pool
+            .get_or_insert_with(|| ShardPool::new(workers.max(1)))
     }
 
     /// The per-node component passes of a fast edge: a single full-range
@@ -571,11 +675,8 @@ impl System {
     /// Runs every shard concurrently on the persistent pool.
     fn run_shards_pooled(&mut self, now: Time) {
         let views = self.build_raw_views(now);
-        let workers = views.len() - 1;
-        let pool = self
-            .shard_pool
-            .get_or_insert_with(|| ShardPool::new(workers));
-        pool.run_epoch(views);
+        let jobs = views.into_iter().map(ShardJob::Passes).collect();
+        self.ensure_pool().run_epoch(jobs);
     }
 
     /// Builds one raw view per shard. The views alias `self`'s component
@@ -632,11 +733,16 @@ impl System {
         for s in 0..self.shard_lanes.len() {
             let pushed = std::mem::take(&mut self.shard_lanes[s].pushed);
             self.inject_pending_total += pushed;
-            for k in 0..self.shard_lanes[s].dirty.len() {
-                let n = self.shard_lanes[s].dirty[k];
-                self.inject_dirty.insert(n);
-            }
-            self.shard_lanes[s].dirty.clear();
+            // The lane's dirty list is duplicate-free (a node is recorded
+            // only on its pipe's empty→non-empty transition) but not
+            // sorted: the L2 and L3 passes each ascend, yet interleave.
+            // Sort, then batch-merge — `DirtyNodes` is a set, so the final
+            // contents match the old one-by-one inserts exactly.
+            let mut dirty = std::mem::take(&mut self.shard_lanes[s].dirty);
+            dirty.sort_unstable();
+            self.inject_dirty.merge_sorted(&dirty);
+            dirty.clear();
+            self.shard_lanes[s].dirty = dirty;
             for k in 0..self.shard_lanes[s].mmio.len() {
                 let (i, req) = self.shard_lanes[s].mmio[k];
                 let id = self.mmio_ids.insert((i, req.id));
@@ -781,8 +887,8 @@ mod pool_tests {
         let mut lane0 = ShardLane::default();
         let mut lane1 = ShardLane::default();
         let views = vec![
-            empty_view(&cfg, &mut lane0, false),
-            empty_view(&cfg, &mut lane1, true),
+            ShardJob::Passes(empty_view(&cfg, &mut lane0, false)),
+            ShardJob::Passes(empty_view(&cfg, &mut lane1, true)),
         ];
         let payload = catch_unwind(AssertUnwindSafe(|| pool.run_epoch(views)))
             .expect_err("worker panic must propagate");
@@ -793,8 +899,8 @@ mod pool_tests {
         let mut lane0 = ShardLane::default();
         let mut lane1 = ShardLane::default();
         let views = vec![
-            empty_view(&cfg, &mut lane0, false),
-            empty_view(&cfg, &mut lane1, false),
+            ShardJob::Passes(empty_view(&cfg, &mut lane0, false)),
+            ShardJob::Passes(empty_view(&cfg, &mut lane1, false)),
         ];
         pool.run_epoch(views);
     }
@@ -809,8 +915,8 @@ mod pool_tests {
         let mut lane0 = ShardLane::default();
         let mut lane1 = ShardLane::default();
         let views = vec![
-            empty_view(&cfg, &mut lane0, true),
-            empty_view(&cfg, &mut lane1, false),
+            ShardJob::Passes(empty_view(&cfg, &mut lane0, true)),
+            ShardJob::Passes(empty_view(&cfg, &mut lane1, false)),
         ];
         let payload = catch_unwind(AssertUnwindSafe(|| pool.run_epoch(views)))
             .expect_err("coordinator panic must propagate");
@@ -821,8 +927,8 @@ mod pool_tests {
         let mut lane0 = ShardLane::default();
         let mut lane1 = ShardLane::default();
         let views = vec![
-            empty_view(&cfg, &mut lane0, false),
-            empty_view(&cfg, &mut lane1, false),
+            ShardJob::Passes(empty_view(&cfg, &mut lane0, false)),
+            ShardJob::Passes(empty_view(&cfg, &mut lane1, false)),
         ];
         pool.run_epoch(views);
     }

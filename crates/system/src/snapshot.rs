@@ -28,11 +28,16 @@
 //! ([`SoftAccelerator::save_state`]), the OS stub (page table, pending
 //! tasks, MMIO id space), fault-injection progress, and the runtime
 //! checkers. Host-side plumbing is *not*: trace sessions, shard pools and
-//! lanes, and the edge-skip knob are rebuilt from the config and
-//! environment, because none of them may influence results in the first
-//! place. `executed_edges` (a host-performance metric) travels in its own
-//! trailing section so it survives restore but stays out of divergence
-//! fingerprints.
+//! lanes, the edge-skip knob, and the mesh-tick rebalancer (per-router
+//! load EWMAs and the current shard partition) are rebuilt from the
+//! config and environment, because none of them may influence results in
+//! the first place — a restored mesh re-learns its load balance from
+//! zero. The mesh's boundary-exchange lanes *are* carried (encoded
+//! shard-count-invariantly) but must be empty at snapshot time, since
+//! snapshots are only taken between edges when every lane has been
+//! replayed. `executed_edges` (a host-performance metric) travels in its
+//! own trailing section so it survives restore but stays out of
+//! divergence fingerprints.
 //!
 //! # Restore protocol
 //!
@@ -415,6 +420,7 @@ impl System {
             accel_tracer: Tracer::disabled(),
             accel_busy: self.accel_busy,
             fault_active: self.fault_active.clone(),
+            fault_index: self.fault_index.clone(),
             fault_budget: self
                 .fault_budget
                 .iter()
@@ -435,6 +441,8 @@ impl System {
             shard_lanes: (0..sim_shards)
                 .map(|_| crate::parallel::ShardLane::default())
                 .collect(),
+            mesh_shards: self.mesh_shards,
+            mesh_pool_min_active: self.mesh_pool_min_active,
             shard_pool: None,
             pool_enabled: self.pool_enabled,
             trace_scratch: None,

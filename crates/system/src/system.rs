@@ -102,6 +102,10 @@ pub struct System {
     // ----- fault injection & runtime verification (duet-verify) -----
     /// Per-spec latch: whether spec `i`'s window is currently applied.
     pub(crate) fault_active: Vec<bool>,
+    /// Per-node index over the plan's NoC specs, so the injection pump and
+    /// ejection dispatcher consult only the specs targeting their node
+    /// instead of scanning the whole plan per message.
+    pub(crate) fault_index: duet_verify::FaultIndex,
     /// Per-spec remaining budget for count-limited faults (`u64::MAX` for
     /// window-only kinds). Atomic so the sharded component passes can
     /// decrement through a shared borrow; every counter still has exactly
@@ -142,7 +146,16 @@ pub struct System {
     /// Per-shard output lanes (deferred MMIOs, pipe accounting), replayed
     /// in shard order after the passes.
     pub(crate) shard_lanes: Vec<crate::parallel::ShardLane>,
+    /// Effective mesh-tick shard count (resolved from `cfg.mesh_shards` /
+    /// `DUET_MESH_SHARDS` at wiring; 0 in the config follows `sim_shards`).
+    pub(crate) mesh_shards: usize,
+    /// Below this many active routers the sharded mesh tick runs inline
+    /// instead of waking the pool (0 when `DUET_SIM_FORCE_THREADS=1`, so
+    /// the determinism tests exercise the pooled path on tiny meshes).
+    pub(crate) mesh_pool_min_active: usize,
     /// Persistent worker threads, spawned lazily on the first pooled pass.
+    /// Shared between the component passes and the sharded mesh tick (one
+    /// epoch each per fast edge).
     pub(crate) shard_pool: Option<crate::parallel::ShardPool>,
     /// Whether multi-shard passes may use real worker threads (host has
     /// parallelism, or `DUET_SIM_FORCE_THREADS=1`); otherwise the sharded

@@ -104,10 +104,23 @@ impl System {
         let shard_lanes = (0..sim_shards)
             .map(|_| crate::parallel::ShardLane::default())
             .collect();
-        let pool_enabled = sim_shards > 1 && crate::parallel::want_worker_threads();
+        // Mesh-tick sharding rides the same pool: the mesh keeps its own
+        // contiguous partition (rebalanced from observed router load), the
+        // system only tells it how many shards to aim for.
+        let mesh_shards = crate::parallel::resolve_mesh_shards(cfg.mesh_shards, sim_shards, nodes);
+        let mut mesh = Mesh::new(mesh_cfg);
+        mesh.set_shards(mesh_shards);
+        let pool_enabled =
+            (sim_shards > 1 || mesh_shards > 1) && crate::parallel::want_worker_threads();
+        let mesh_pool_min_active =
+            if std::env::var("DUET_SIM_FORCE_THREADS").is_ok_and(|v| v == "1") {
+                0
+            } else {
+                crate::parallel::MESH_POOL_MIN_ACTIVE
+            };
         Ok(System {
             dual: DualClock::new(cfg.clock, cfg.fpga_clock()),
-            mesh: Mesh::new(mesh_cfg),
+            mesh,
             cores,
             l2s,
             shards,
@@ -135,6 +148,7 @@ impl System {
             accel_tracer: duet_trace::Tracer::disabled(),
             accel_busy: false,
             fault_active: vec![false; cfg.faults.specs.len()],
+            fault_index: duet_verify::FaultIndex::new(&cfg.faults, nodes),
             fault_budget,
             reorder_stash: Vec::new(),
             mesi_checker: duet_verify::MesiChecker::new(),
@@ -149,6 +163,8 @@ impl System {
             sim_shards,
             shard_plan,
             shard_lanes,
+            mesh_shards,
+            mesh_pool_min_active,
             shard_pool: None,
             pool_enabled,
             trace_scratch: None,

@@ -337,6 +337,65 @@ impl FaultPlan {
     }
 }
 
+/// Per-node index over a plan's NoC fault specs.
+///
+/// The run loop consults the plan on two hot paths: the injection pump asks
+/// "is this source node delay-stalled?" and the ejection dispatcher asks
+/// "does any reorder/drop window target this node?". Scanning `plan.specs`
+/// linearly on every message is wasted work for the common empty plan and
+/// scales poorly once the mesh tick itself is sharded, so the index buckets
+/// spec *indices* per node once at construction. Indices (not copies) are
+/// stored so budget bookkeeping keyed by spec position keeps working, and
+/// each bucket preserves plan order so overlapping windows consume budgets
+/// in exactly the order the linear scan did.
+#[derive(Clone, Debug, Default)]
+pub struct FaultIndex {
+    delay: Vec<Vec<usize>>,
+    eject: Vec<Vec<usize>>,
+}
+
+impl FaultIndex {
+    /// Builds the index for a mesh with `nodes` routers. Specs targeting
+    /// out-of-range nodes are ignored (they can never fire).
+    pub fn new(plan: &FaultPlan, nodes: usize) -> Self {
+        let mut delay = vec![Vec::new(); nodes];
+        let mut eject = vec![Vec::new(); nodes];
+        for (i, s) in plan.specs.iter().enumerate() {
+            match s.kind {
+                FaultKind::NocDelay { node } => {
+                    if let Some(bucket) = delay.get_mut(node) {
+                        bucket.push(i);
+                    }
+                }
+                FaultKind::NocReorder { node, .. } | FaultKind::NocDrop { node, .. } => {
+                    if let Some(bucket) = eject.get_mut(node) {
+                        bucket.push(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        FaultIndex { delay, eject }
+    }
+
+    /// Plan-order indices of `NocDelay` specs targeting `node` (the
+    /// injection path).
+    pub fn delay_specs(&self, node: NodeId) -> &[usize] {
+        self.delay.get(node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Plan-order indices of `NocReorder`/`NocDrop` specs targeting `node`
+    /// (the ejection path).
+    pub fn eject_specs(&self, node: NodeId) -> &[usize] {
+        self.eject.get(node).map_or(&[], Vec::as_slice)
+    }
+
+    /// True when no spec targets any NoC path (both tables are all-empty).
+    pub fn is_empty(&self) -> bool {
+        self.delay.iter().all(Vec::is_empty) && self.eject.iter().all(Vec::is_empty)
+    }
+}
+
 fn parse_kv(rest: &str, line: usize) -> Result<Vec<(String, u64)>, PlanParseError> {
     let mut kv = Vec::new();
     for word in rest.split_whitespace() {
@@ -438,6 +497,40 @@ fault l3_stall node=4 from_us=1 until_us=9
         let p = FaultPlan::parse("# hi\n\n  seed = 3  # trailing\n").expect("parses");
         assert_eq!(p.seed, 3);
         assert!(p.specs.is_empty());
+    }
+
+    #[test]
+    fn fault_index_buckets_noc_specs_per_node() {
+        let plan = FaultPlan::empty()
+            .with(FaultSpec::starting(FaultKind::AccelHang, Time::ZERO))
+            .with(FaultSpec::starting(
+                FaultKind::NocDelay { node: 2 },
+                Time::ZERO,
+            ))
+            .with(FaultSpec::starting(
+                FaultKind::NocDrop { node: 2, count: 1 },
+                Time::ZERO,
+            ))
+            .with(FaultSpec::starting(
+                FaultKind::NocReorder { node: 2, count: 1 },
+                Time::from_us(1),
+            ))
+            .with(FaultSpec::starting(
+                FaultKind::NocDelay { node: 99 }, // out of range: ignored
+                Time::ZERO,
+            ));
+        let idx = FaultIndex::new(&plan, 4);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.delay_specs(2), &[1]);
+        // Plan order preserved so overlapping budgets drain identically.
+        assert_eq!(idx.eject_specs(2), &[2, 3]);
+        assert!(idx.delay_specs(0).is_empty());
+        assert!(idx.eject_specs(3).is_empty());
+        // Out-of-range queries are safe, not a panic.
+        assert!(idx.delay_specs(99).is_empty());
+
+        let empty = FaultIndex::new(&FaultPlan::empty(), 4);
+        assert!(empty.is_empty());
     }
 
     #[test]

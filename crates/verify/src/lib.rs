@@ -33,7 +33,7 @@ pub mod mesi;
 pub mod noc_order;
 pub mod report;
 
-pub use fault::{DegradeConfig, FaultKind, FaultPlan, FaultSpec, PlanParseError};
+pub use fault::{DegradeConfig, FaultIndex, FaultKind, FaultPlan, FaultSpec, PlanParseError};
 pub use mesi::MesiChecker;
 pub use noc_order::NocOrderChecker;
 pub use report::{ComponentStall, RunError, StallSnapshot, Violation};

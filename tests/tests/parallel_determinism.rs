@@ -1,10 +1,12 @@
 //! Sharded-run determinism: the intra-run parallel fast edge must be
 //! byte-identical to the serial loop for every workload, shard count,
-//! scheduling mode, tracing mode, and fault plan.
+//! mesh-shard count, scheduling mode, tracing mode, and fault plan.
 //!
 //! Every cell of {workload} × {1, 2, 4 sim threads} × {edge-skip on/off}
 //! × {trace on/off} is compared against the 1-thread serial baseline on
-//! three axes:
+//! three axes — and a second matrix sweeps the *mesh* shard axis
+//! ({1, 2, 4} via `DUET_MESH_SHARDS`, sim threads pinned to 1) over the
+//! same workloads, skip/trace modes, and an active NoC fault plan:
 //!
 //! 1. the full run fingerprint (halt/quiesce times, every statistics
 //!    block, per-link movement counters, observed memory words),
@@ -282,11 +284,12 @@ fn assert_shard_invariant(
     mem: &[(u64, usize)],
 ) {
     let _guard = env_lock().lock().expect("env lock");
-    // This suite sweeps the thread axis itself; a CI-level
-    // `DUET_SIM_THREADS` export (used to push the *other* suites through
-    // the sharded path) would override every cell's config and collapse
-    // the axis to a single point.
+    // This suite sweeps the thread axis itself; CI-level
+    // `DUET_SIM_THREADS` / `DUET_MESH_SHARDS` exports (used to push the
+    // *other* suites through the sharded paths) would override every
+    // cell's config and collapse the axis to a single point.
     std::env::remove_var("DUET_SIM_THREADS");
+    std::env::remove_var("DUET_MESH_SHARDS");
     for skip in [true, false] {
         for trace in [false, true] {
             let base = run_cell(build, 1, skip, trace, halt_deadline, quiesce_deadline, mem);
@@ -316,6 +319,71 @@ fn assert_shard_invariant(
                 assert_eq!(
                     base.trace_log, cell.trace_log,
                     "{label}: trace log diverged at {threads} sim threads (skip={skip})"
+                );
+            }
+        }
+    }
+}
+
+/// Runs one cell with `DUET_MESH_SHARDS` pinned (sim threads stay 1, so
+/// only the mesh-tick partition varies). Caller holds the env lock.
+fn run_mesh_cell(
+    build: &dyn Fn(usize) -> System,
+    mesh_shards: usize,
+    skip: bool,
+    trace: bool,
+    halt_deadline: Time,
+    quiesce_deadline: Time,
+    mem: &[(u64, usize)],
+) -> Cell {
+    std::env::set_var("DUET_MESH_SHARDS", mesh_shards.to_string());
+    let cell = run_cell(build, 1, skip, trace, halt_deadline, quiesce_deadline, mem);
+    std::env::remove_var("DUET_MESH_SHARDS");
+    cell
+}
+
+/// Crosses one workload over {mesh shards} × {skip} × {trace} and
+/// compares every cell to the 1-mesh-shard baseline of the same mode:
+/// fingerprints (including per-link peaks and occupancy histograms),
+/// metrics dumps, and trace text must not depend on the mesh partition.
+fn assert_mesh_shard_invariant(
+    label: &str,
+    build: &dyn Fn(usize) -> System,
+    halt_deadline: Time,
+    quiesce_deadline: Time,
+    mem: &[(u64, usize)],
+) {
+    let _guard = env_lock().lock().expect("env lock");
+    std::env::remove_var("DUET_SIM_THREADS");
+    for skip in [true, false] {
+        for trace in [false, true] {
+            let base = run_mesh_cell(build, 1, skip, trace, halt_deadline, quiesce_deadline, mem);
+            if trace {
+                assert!(base.trace_log.is_some(), "{label}: tracing produced no log");
+            }
+            for shards in [2usize, 4] {
+                let cell = run_mesh_cell(
+                    build,
+                    shards,
+                    skip,
+                    trace,
+                    halt_deadline,
+                    quiesce_deadline,
+                    mem,
+                );
+                assert_eq!(
+                    base.fp, cell.fp,
+                    "{label}: fingerprint diverged at {shards} mesh shards \
+                     (skip={skip}, trace={trace})"
+                );
+                assert_eq!(
+                    base.metrics, cell.metrics,
+                    "{label}: metrics registry diverged at {shards} mesh shards \
+                     (skip={skip}, trace={trace})"
+                );
+                assert_eq!(
+                    base.trace_log, cell.trace_log,
+                    "{label}: trace log diverged at {shards} mesh shards (skip={skip})"
                 );
             }
         }
@@ -396,6 +464,149 @@ fn faulted_run_is_shard_invariant() {
         Time::from_us(5_000),
         Time::from_us(6_000),
         &[(0x7000, 1)],
+    );
+}
+
+// ----- the mesh-shard matrix -----
+
+#[test]
+fn message_passing_is_mesh_shard_invariant() {
+    assert_mesh_shard_invariant(
+        "message_passing",
+        &message_passing,
+        Time::from_us(10_000),
+        Time::from_us(11_000),
+        &[(0x1000, 1), (0x2000, 1), (0x3000, 1)],
+    );
+}
+
+#[test]
+fn amoadd_is_mesh_shard_invariant() {
+    assert_mesh_shard_invariant(
+        "amoadd",
+        &amoadd,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+}
+
+#[test]
+fn popcount_accelerator_is_mesh_shard_invariant() {
+    assert_mesh_shard_invariant(
+        "popcount",
+        &popcount,
+        Time::from_us(1_000),
+        Time::from_us(2_000),
+        &[(0x2_0000, 1)],
+    );
+}
+
+#[test]
+fn fpsoc_slow_hubs_is_mesh_shard_invariant() {
+    assert_mesh_shard_invariant(
+        "fpsoc_slow_hubs",
+        &fpsoc_slow_hubs,
+        Time::from_us(1_000),
+        Time::from_us(2_000),
+        &[(0x4000, 1)],
+    );
+}
+
+/// Mesh sharding under an active NoC fault plan covering all three
+/// NoC-level kinds: injection delays (window-only) plus budgeted reorder
+/// and drop at eject. Faults intercept at the serial
+/// injection-pump/ejection-dispatch boundaries — outside the sharded
+/// mesh tick — so windows and budgets must drain identically under any
+/// mesh partition, even when the lost message wedges the run.
+#[test]
+fn noc_faulted_run_is_mesh_shard_invariant() {
+    let window = |kind, from_us: u64, until_us: u64| FaultSpec {
+        kind,
+        from: Time::from_us(from_us),
+        until: Time::from_us(until_us),
+    };
+    let plan = FaultPlan::empty()
+        .with(window(FaultKind::NocDelay { node: 0 }, 0, 20))
+        .with(window(FaultKind::NocReorder { node: 2, count: 1 }, 0, 200))
+        .with(window(FaultKind::NocDrop { node: 3, count: 1 }, 0, 100));
+    let build = move |threads: usize| {
+        let mut cfg = SystemConfig::proc_only(4);
+        cfg.sim_threads = threads;
+        cfg.faults = plan.clone();
+        amoadd_with(cfg)
+    };
+    assert_mesh_shard_invariant(
+        "amoadd+noc_faults",
+        &build,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+}
+
+/// Pins the pooled mesh tick (mesh shard tasks as pool epochs) regardless
+/// of host CPU count, and compares it against the serial mesh baseline.
+#[test]
+fn forced_pool_mesh_tick_matches_serial() {
+    let _guard = env_lock().lock().expect("env lock");
+    std::env::remove_var("DUET_SIM_THREADS");
+    std::env::set_var("DUET_SIM_FORCE_THREADS", "1");
+    let pooled = run_mesh_cell(
+        &amoadd,
+        4,
+        true,
+        true,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+    std::env::remove_var("DUET_SIM_FORCE_THREADS");
+    let serial = run_mesh_cell(
+        &amoadd,
+        1,
+        true,
+        true,
+        Time::from_us(5_000),
+        Time::from_us(6_000),
+        &[(0x7000, 1)],
+    );
+    assert_eq!(
+        serial.fp, pooled.fp,
+        "pooled mesh tick diverged from serial"
+    );
+    assert_eq!(serial.metrics, pooled.metrics);
+    assert_eq!(serial.trace_log, pooled.trace_log);
+}
+
+/// `DUET_MESH_SHARDS` overrides the config, `0` follows the sim-thread
+/// shard count, and the result is clamped to the node count.
+#[test]
+fn mesh_shard_env_and_config_resolution() {
+    let _guard = env_lock().lock().expect("env lock");
+    std::env::remove_var("DUET_SIM_THREADS");
+    std::env::set_var("DUET_MESH_SHARDS", "3");
+    let sys = System::new(SystemConfig::proc_only(4)).expect("valid config");
+    assert_eq!(sys.mesh_shards(), 3, "env override ignored");
+    std::env::set_var("DUET_MESH_SHARDS", "64");
+    let sys = System::new(SystemConfig::proc_only(2)).expect("valid config");
+    assert!(
+        sys.mesh_shards() <= 2,
+        "mesh shards must be clamped to the node count, got {}",
+        sys.mesh_shards()
+    );
+    std::env::remove_var("DUET_MESH_SHARDS");
+    let mut cfg = SystemConfig::proc_only(4);
+    cfg.mesh_shards = 2;
+    let sys = System::new(cfg).expect("valid config");
+    assert_eq!(sys.mesh_shards(), 2, "config mesh_shards ignored");
+    let mut cfg = SystemConfig::proc_only(4);
+    cfg.sim_threads = 2;
+    let sys = System::new(cfg).expect("valid config");
+    assert_eq!(
+        sys.mesh_shards(),
+        2,
+        "mesh_shards = 0 must follow the resolved sim-thread shards"
     );
 }
 

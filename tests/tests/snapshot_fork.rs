@@ -106,6 +106,46 @@ fn forked_child_continues_identically_to_parent() {
     );
 }
 
+/// A midrun snapshot taken under a forced mesh-sharded pool (4 mesh
+/// shards, real worker threads) restores into a fresh system and
+/// continues bit-identically. The mesh's boundary-exchange lanes are
+/// drained every tick, so the snapshot carries them empty, and the
+/// rebalancer (host-side only) re-learns from zero without perturbing
+/// results.
+#[test]
+fn midrun_snapshot_restores_under_forced_mesh_sharded_pool() {
+    // Both systems must be built while the overrides are set (the mesh
+    // shard count and pool mode resolve at wiring time). Other tests in
+    // this binary may build systems inside this window; that is benign —
+    // mesh sharding never affects results, which is the very invariant
+    // under test.
+    std::env::set_var("DUET_MESH_SHARDS", "4");
+    std::env::set_var("DUET_SIM_FORCE_THREADS", "1");
+    let mut live = warmed_16x16();
+    let mut resumed = warmed_16x16();
+    std::env::remove_var("DUET_MESH_SHARDS");
+    std::env::remove_var("DUET_SIM_FORCE_THREADS");
+
+    live.run_until_time(Time::from_ns(150));
+    let snap = live.snapshot();
+    resumed.restore(&snap).expect("midrun snapshot restores");
+    assert_eq!(
+        live.divergence_fingerprint(),
+        resumed.divergence_fingerprint(),
+        "restore must land in the identical simulated state"
+    );
+
+    let deadline = Time::from_us(10_000);
+    let halt_live = live.run_until_halt(deadline).expect("live run halts");
+    let halt_resumed = resumed.run_until_halt(deadline).expect("resumed run halts");
+    assert_eq!(halt_live, halt_resumed);
+    assert_eq!(
+        live.divergence_fingerprint(),
+        resumed.divergence_fingerprint(),
+        "restored run must continue bit-identically under the sharded mesh pool"
+    );
+}
+
 /// `fork()` drops the accelerator; `fork_with` carries its state into a
 /// freshly built instance of the same design.
 #[test]
