@@ -29,13 +29,20 @@
 //!    `mesh_8x8`, and `mesh_16x16` presets (warmed 500 ns), recorded
 //!    under the `snapshot` key.
 //!
-//! Results land in `BENCH_pr8.json` (repo root by default, or the path
+//! 5. **serve** — the service layer: an in-process `duet-serve` instance
+//!    answers a cold `POST /v1/runs?wait=1` (full simulation) and then
+//!    the same spec again (content-addressed cache hit), recording both
+//!    latencies, the payload size, and the JSON encode/decode cost of
+//!    the payload — the numbers that justify the cache.
+//!
+//! Results land in `BENCH_pr9.json` (repo root by default, or the path
 //! given as the first non-flag argument) as edges/sec per scenario —
 //! scalar for the single-config scenarios, `threads` and `mesh_shards`
-//! maps for the scaling ones — plus the `mesh_tick` overhead cell and
-//! the `snapshot` cost table (schema `duet-bench-smoke-v4`). The file
-//! is committed so the perf record survives in-tree; CI regenerates it
-//! on every push to catch harness rot and big regressions.
+//! maps for the scaling ones — plus the `mesh_tick` overhead cell, the
+//! `snapshot` cost table, and the `serve` cell (schema
+//! `duet-bench-smoke-v5`). The file is committed so the perf record
+//! survives in-tree; CI regenerates it on every push to catch harness
+//! rot and big regressions.
 //!
 //! Run: `cargo run --release -p duet-bench --bin bench_smoke [out.json]`
 
@@ -289,6 +296,67 @@ fn mesh_shard_sweep(name: &str, cfg: &SystemConfig) -> Vec<(usize, f64)> {
     points
 }
 
+/// Service-layer costs: cold vs cache-hit latency over the real HTTP
+/// path, payload size, and the payload's JSON encode/decode wall time.
+struct ServeCosts {
+    cold_ms: f64,
+    hit_ms: f64,
+    payload_bytes: usize,
+    encode_ms: f64,
+    decode_ms: f64,
+}
+
+fn serve_costs() -> ServeCosts {
+    use duet_serve::server::{ServeConfig, Server};
+    let server = Server::start(ServeConfig::default()).expect("serve binds");
+    let addr = server.addr();
+    let body = br#"{"workload":"popcount","n":6,"seed":42}"#;
+
+    let start = Instant::now();
+    let cold =
+        duet_serve::client::post_json(addr, "/v1/runs?wait=1", None, body).expect("cold request");
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.status, 200, "cold run failed");
+
+    let start = Instant::now();
+    let hit =
+        duet_serve::client::post_json(addr, "/v1/runs?wait=1", None, body).expect("hit request");
+    let hit_ms = start.elapsed().as_secs_f64() * 1e3;
+    let hj = hit.json().expect("hit response parses");
+    assert_eq!(
+        hj.get("cache").and_then(duet_serve::json::Json::as_str),
+        Some("hit"),
+        "second submission must hit the cache"
+    );
+    let payload = hj.get("result").expect("hit carries result").to_bytes();
+    server.shutdown();
+
+    // Encode/decode cost of the payload itself (min over a few rounds).
+    let (mut encode_ms, mut decode_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let start = Instant::now();
+        let tree = duet_serve::json::parse(&payload).expect("payload parses");
+        decode_ms = decode_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let bytes = tree.to_bytes();
+        encode_ms = encode_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(bytes, payload, "payload must re-encode byte-identically");
+    }
+    println!(
+        "# serve cold {cold_ms:.2} ms, cache hit {hit_ms:.2} ms ({:.0}x), \
+         payload {} bytes, encode {encode_ms:.3} ms, decode {decode_ms:.3} ms",
+        cold_ms / hit_ms.max(1e-9),
+        payload.len()
+    );
+    ServeCosts {
+        cold_ms,
+        hit_ms,
+        payload_bytes: payload.len(),
+        encode_ms,
+        decode_ms,
+    }
+}
+
 fn main() -> std::io::Result<()> {
     // First non-flag argument (skipping flag values) is the output path.
     let mut out_path = None;
@@ -300,7 +368,7 @@ fn main() -> std::io::Result<()> {
             out_path = Some(a);
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr8.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr9.json".to_string());
 
     let fig9 = fig9_edges_per_sec();
     let stream = stream_stores_edges_per_sec();
@@ -309,6 +377,7 @@ fn main() -> std::io::Result<()> {
     let mesh_8 = mesh_shard_sweep("noc_hotspot_8x8", &SystemConfig::mesh_8x8());
     let mesh_16 = mesh_shard_sweep("noc_hotspot_16x16", &SystemConfig::mesh_16x16());
     let snapshots = snapshot_costs_sweep();
+    let serve = serve_costs();
 
     // The serial-vs-sharded mesh-tick cell: shards=1 vs shards=4 on the
     // 16×16 hotspot at one sim thread. On a single-CPU host the sharded
@@ -334,7 +403,7 @@ fn main() -> std::io::Result<()> {
             .collect();
         format!("\"{key}\": {{ {} }}", cells.join(", "))
     };
-    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v4\",\n");
+    let mut body = String::from("{\n  \"schema\": \"duet-bench-smoke-v5\",\n");
     body.push_str("  \"unit\": \"edges_per_sec\",\n  \"scenarios\": {\n");
     if let Some(f) = fig9 {
         body.push_str(&format!("    \"fig9_latency_sweep\": {f:.3e},\n"));
@@ -369,7 +438,12 @@ fn main() -> std::io::Result<()> {
         })
         .collect();
     body.push_str(&cells.join(",\n"));
-    body.push_str("\n  }\n}\n");
+    body.push_str("\n  },\n");
+    body.push_str(&format!(
+        "  \"serve\": {{ \"cold_ms\": {:.3}, \"cache_hit_ms\": {:.3}, \
+         \"payload_bytes\": {}, \"encode_ms\": {:.3}, \"decode_ms\": {:.3} }}\n}}\n",
+        serve.cold_ms, serve.hit_ms, serve.payload_bytes, serve.encode_ms, serve.decode_ms
+    ));
     // A full disk or bad path is a clean error for CI to show, not a panic.
     std::fs::write(&out_path, &body).map_err(|e| {
         std::io::Error::new(e.kind(), format!("writing bench json to {out_path}: {e}"))

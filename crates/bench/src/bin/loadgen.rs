@@ -1,0 +1,230 @@
+//! `loadgen` — a deterministic load generator for `duet-serve`.
+//!
+//! Fires a skewed request mix (a few hot specs, a long tail of cold ones)
+//! at a service instance through the real HTTP path and reports cache hit
+//! rate plus latency percentiles split by hit/miss. With no `--addr` it
+//! self-hosts a server in-process, which is what CI's `serve-smoke` job
+//! runs: the artifact it writes is the service-layer throughput record.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--seed N]
+//!         [--workers N] [--out FILE]
+//! ```
+//!
+//! The mix is generated from `--seed` with the simulator's own
+//! deterministic RNG, so two invocations against fresh servers issue the
+//! identical request sequence and (modulo wall-clock timing) produce the
+//! identical hit/miss ledger.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use duet_bench::parallel_map;
+use duet_serve::client;
+use duet_serve::json::Json;
+use duet_serve::server::{ServeConfig, Server};
+use duet_sim::SimRng;
+
+/// The spec pool: index 0..HOT are "hot" (drawn often, so they cache);
+/// the rest are cold singles. All bounded small enough that a full sweep
+/// stays inside a CI minute.
+const HOT: usize = 4;
+
+fn spec_pool() -> Vec<String> {
+    // Hot set: the requests real users repeat.
+    let mut pool = vec![
+        r#"{"workload":"popcount","n":6,"seed":42}"#.to_string(),
+        r#"{"workload":"tangent","n":6,"seed":42}"#.to_string(),
+        r#"{"workload":"popcount","n":6,"seed":42,"variant":"fpsoc"}"#.to_string(),
+        r#"{"workload":"stream_stores","variant":"proc-only","processors":2,"stores":256}"#
+            .to_string(),
+    ];
+    // Cold tail: parameter scans that mostly miss.
+    for seed in 100..112 {
+        pool.push(format!(r#"{{"workload":"popcount","n":4,"seed":{seed}}}"#));
+    }
+    for seed in 100..106 {
+        pool.push(format!(r#"{{"workload":"tangent","n":4,"seed":{seed}}}"#));
+    }
+    pool
+}
+
+/// Draws a request index with ~70% of the mass on the hot set.
+fn draw(rng: &mut SimRng, pool_len: usize) -> usize {
+    if rng.gen_range(0..10) < 7 {
+        rng.gen_range(0..HOT as u64) as usize
+    } else {
+        HOT + rng.gen_range(0..(pool_len - HOT) as u64) as usize
+    }
+}
+
+struct Sample {
+    latency_ms: f64,
+    hit: bool,
+    ok: bool,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn stats_line(label: &str, samples: &[&Sample]) -> String {
+    let mut lats: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    format!(
+        "{label}: n={} p50={:.2}ms p90={:.2}ms p99={:.2}ms",
+        lats.len(),
+        percentile(&lats, 0.50),
+        percentile(&lats, 0.90),
+        percentile(&lats, 0.99),
+    )
+}
+
+fn json_stats(samples: &[&Sample]) -> String {
+    let mut lats: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    format!(
+        "{{ \"n\": {}, \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+        lats.len(),
+        percentile(&lats, 0.50),
+        percentile(&lats, 0.90),
+        percentile(&lats, 0.99),
+    )
+}
+
+fn main() {
+    let mut addr: Option<SocketAddr> = None;
+    let mut requests = 64usize;
+    let mut seed = 1u64;
+    let mut workers = 2usize;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--addr" => {
+                addr = Some(val("--addr").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --addr: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--requests" => requests = val("--requests").parse().expect("number"),
+            "--seed" => seed = val("--seed").parse().expect("number"),
+            "--workers" => workers = val("--workers").parse().expect("number"),
+            "--out" => out = Some(val("--out")),
+            "--threads" => {
+                val("--threads");
+            } // consumed by parallel_map via configured_threads
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Self-host unless pointed at a live server.
+    let hosted = if addr.is_none() {
+        let server = Server::start(ServeConfig {
+            workers,
+            wait_timeout: Duration::from_secs(240),
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        addr = Some(server.addr());
+        Some(server)
+    } else {
+        None
+    };
+    let addr = addr.expect("addr resolved above");
+
+    let pool = spec_pool();
+    let mut rng = SimRng::new(seed);
+    let mix: Vec<usize> = (0..requests).map(|_| draw(&mut rng, pool.len())).collect();
+
+    let wall = Instant::now();
+    let samples: Vec<Sample> = parallel_map(mix, |idx| {
+        let body = pool[idx].as_bytes();
+        let start = Instant::now();
+        let resp = client::post_json(addr, "/v1/runs?wait=1", Some("loadgen"), body);
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        match resp {
+            Ok(r) if r.status == 200 => {
+                let hit = r
+                    .json()
+                    .ok()
+                    .and_then(|j| j.get("cache").and_then(Json::as_str).map(|s| s == "hit"))
+                    .unwrap_or(false);
+                Sample {
+                    latency_ms,
+                    hit,
+                    ok: true,
+                }
+            }
+            _ => Sample {
+                latency_ms,
+                hit: false,
+                ok: false,
+            },
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let ok: Vec<&Sample> = samples.iter().filter(|s| s.ok).collect();
+    let hits: Vec<&Sample> = ok.iter().filter(|s| s.hit).copied().collect();
+    let misses: Vec<&Sample> = ok.iter().filter(|s| !s.hit).copied().collect();
+    let hit_rate = if ok.is_empty() {
+        0.0
+    } else {
+        hits.len() as f64 / ok.len() as f64
+    };
+    println!(
+        "# loadgen: {} requests in {wall_s:.2}s ({:.1} req/s), {} ok, hit rate {:.1}%",
+        samples.len(),
+        samples.len() as f64 / wall_s.max(1e-9),
+        ok.len(),
+        hit_rate * 100.0
+    );
+    println!("# {}", stats_line("all", &ok));
+    println!("# {}", stats_line("hit", &hits));
+    println!("# {}", stats_line("miss", &misses));
+
+    if let Some(server) = hosted {
+        let stats = server.state().cache.stats();
+        println!(
+            "# cache: {} entries, {} hits, {} misses, {} inserts",
+            stats.entries, stats.hits, stats.misses, stats.inserts
+        );
+        server.shutdown();
+    }
+
+    if let Some(path) = out {
+        let body = format!(
+            "{{\n  \"schema\": \"duet-loadgen-v1\",\n  \"requests\": {},\n  \"ok\": {},\n  \
+             \"hit_rate\": {:.4},\n  \"wall_s\": {:.3},\n  \"all\": {},\n  \"hit\": {},\n  \
+             \"miss\": {}\n}}\n",
+            samples.len(),
+            ok.len(),
+            hit_rate,
+            wall_s,
+            json_stats(&ok),
+            json_stats(&hits),
+            json_stats(&misses),
+        );
+        std::fs::write(&path, body).expect("write loadgen report");
+        println!("# wrote {path}");
+    }
+
+    if ok.len() != samples.len() {
+        eprintln!("loadgen: {} requests failed", samples.len() - ok.len());
+        std::process::exit(1);
+    }
+}

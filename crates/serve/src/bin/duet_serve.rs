@@ -1,0 +1,69 @@
+//! `duet-serve` — the multi-tenant simulation service.
+//!
+//! ```text
+//! duet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!            [--max-queued N] [--max-concurrent N] [--max-sim-us N]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound, then serves
+//! until killed.
+
+use std::time::Duration;
+
+use duet_serve::server::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: duet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+         \x20                 [--max-queued N] [--max-concurrent N] [--max-sim-us N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:8787".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--workers" => cfg.workers = parse(&val("--workers")),
+            "--queue-cap" => cfg.queue_cap = parse(&val("--queue-cap")),
+            "--max-queued" => cfg.quota.max_queued = parse(&val("--max-queued")),
+            "--max-concurrent" => cfg.quota.max_concurrent = parse(&val("--max-concurrent")),
+            "--max-sim-us" => cfg.quota.max_sim_us = parse(&val("--max-sim-us")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number: {s}");
+        usage()
+    })
+}

@@ -1,0 +1,148 @@
+//! The content-addressed result cache.
+//!
+//! Keyed by [`ScenarioSpec::cache_key`](crate::spec::ScenarioSpec::cache_key)
+//! (a hash of the spec's canonical bytes) and storing the **exact payload
+//! bytes** the first execution produced. Because the simulator is
+//! bit-deterministic, those bytes are a pure function of the key — a hit
+//! returns them without simulating anything, and `?verify=1` can re-run
+//! the spec and demand byte-identity as a standing determinism check.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters exposed on `GET /v1/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// `?verify=1` re-runs whose payload did not match the stored bytes.
+    pub verify_mismatches: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// Thread-safe map from cache key to immutable payload bytes.
+#[derive(Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    verify_mismatches: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a key, counting a hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<Arc<Vec<u8>>> {
+        let got = self.entries.lock().expect("cache lock").get(&key).cloned();
+        match got {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a payload. First write wins: concurrent workers that raced
+    /// on the same spec computed identical bytes (determinism), so keeping
+    /// the incumbent is safe and preserves pointer identity for holders.
+    pub fn insert(&self, key: u64, payload: Vec<u8>) -> Arc<Vec<u8>> {
+        let mut map = self.entries.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            Arc::new(payload)
+        });
+        entry.clone()
+    }
+
+    /// Drops an entry (used when verification catches a mismatch).
+    pub fn evict(&self, key: u64) -> bool {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .remove(&key)
+            .is_some()
+    }
+
+    /// Records a verification mismatch.
+    pub fn note_verify_mismatch(&self) {
+        self.verify_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Test hook: corrupts a stored entry in place by flipping one byte,
+    /// simulating a poisoned cache. Returns false if the key is absent.
+    pub fn poison(&self, key: u64) -> bool {
+        let mut map = self.entries.lock().expect("cache lock");
+        match map.get_mut(&key) {
+            Some(entry) => {
+                let mut bytes = (**entry).clone();
+                if let Some(b) = bytes.last_mut() {
+                    *b ^= 0x01;
+                }
+                *entry = Arc::new(bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            verify_mismatches: self.verify_mismatches.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_insert_and_stats() {
+        let c = ResultCache::new();
+        assert!(c.lookup(1).is_none());
+        c.insert(1, b"abc".to_vec());
+        assert_eq!(c.lookup(1).unwrap().as_slice(), b"abc");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let c = ResultCache::new();
+        c.insert(7, b"first".to_vec());
+        let kept = c.insert(7, b"second".to_vec());
+        assert_eq!(kept.as_slice(), b"first");
+        assert_eq!(c.stats().inserts, 1);
+    }
+
+    #[test]
+    fn poison_flips_a_byte_and_evict_removes() {
+        let c = ResultCache::new();
+        assert!(!c.poison(9));
+        c.insert(9, b"payload".to_vec());
+        assert!(c.poison(9));
+        assert_ne!(c.lookup(9).unwrap().as_slice(), b"payload");
+        assert!(c.evict(9));
+        assert!(c.lookup(9).is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! A tiny blocking HTTP client for the service API — used by the
+//! integration tests and the load generator. One request per connection,
+//! mirroring the server's `Connection: close` discipline.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<crate::json::Json, crate::json::JsonError> {
+        crate::json::parse(&self.body)
+    }
+}
+
+/// Sends one request and reads the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let head_text = std::str::from_utf8(&raw[..split])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 response head"))?;
+    let status_line = head_text.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok(Response {
+        status,
+        body: raw[split + 4..].to_vec(),
+    })
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, &[], b"")
+}
+
+/// `POST path` with a JSON body and optional tenant.
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    tenant: Option<&str>,
+    body: &[u8],
+) -> io::Result<Response> {
+    let mut headers: Vec<(&str, &str)> = vec![("content-type", "application/json")];
+    if let Some(t) = tenant {
+        headers.push(("x-duet-tenant", t));
+    }
+    request(addr, "POST", path, &headers, body)
+}

@@ -1,0 +1,212 @@
+//! Minimal HTTP/1.1 plumbing over `std::net` — just enough protocol for
+//! the service API: one request per connection, `Content-Length` bodies,
+//! `Connection: close` responses. No keep-alive, no chunked encoding, no
+//! TLS; the server sits behind trusted transport (localhost or a fronting
+//! proxy) by design.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request head (request line + headers) accepted.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest request body accepted.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded `key=value` query pairs (no percent-decoding: the API uses
+    /// plain tokens only).
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a query flag is set truthily (`?verify=1`, `?wait=true`).
+    pub fn query_flag(&self, key: &str) -> bool {
+        matches!(self.query_get(key), Some("1" | "true" | "yes"))
+    }
+
+    /// First header value for `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from the stream. `Ok(None)` means the peer closed
+/// before sending anything (a health-checker poking the port).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Read byte-at-a-time until the blank line; request heads are tiny and
+    // this keeps the parser free of buffering/overread bookkeeping.
+    loop {
+        match stream.read(&mut byte)? {
+            0 => {
+                if head.is_empty() {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ));
+            }
+            _ => head.push(byte[0]),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 request head"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?;
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+            headers.push((name, value));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Writes a complete response and flushes. Always closes: the reply
+/// carries `Connection: close` and the caller drops the stream.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Status reason phrases for the codes the API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_request_with_query_headers_and_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /v1/runs?wait=1&verify=1 HTTP/1.1\r\n\
+                  Host: test\r\n\
+                  X-Duet-Tenant: alice\r\n\
+                  Content-Length: 4\r\n\r\nbody",
+            )
+            .unwrap();
+            s.flush().unwrap();
+            // Hold the connection open until the server side parses.
+            let mut out = Vec::new();
+            let _ = s.read_to_end(&mut out);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/runs");
+        assert!(req.query_flag("wait"));
+        assert!(req.query_flag("verify"));
+        assert_eq!(req.header("x-duet-tenant"), Some("alice"));
+        assert_eq!(req.body, b"body");
+        write_response(&mut stream, 200, "OK", "application/json", b"{}").unwrap();
+        drop(stream);
+        client.join().unwrap();
+    }
+}

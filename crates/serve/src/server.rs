@@ -1,0 +1,454 @@
+//! The service itself: listener, routing, and the cache/verify protocol.
+//!
+//! # API
+//!
+//! | Route | What it does |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /v1/stats` | cache + queue counters |
+//! | `POST /v1/runs` | submit a scenario spec; `?wait=1` blocks for the result, `?verify=1` re-runs cache hits and demands byte-identity |
+//! | `GET /v1/runs/<id>` | job status, progress, spec echo, result/error |
+//! | `GET /v1/cache/<key>` | raw cached payload by content address |
+//!
+//! Tenancy comes from the `X-Duet-Tenant` header (default `"anon"`).
+//! Cache-hit responses splice the stored payload bytes verbatim into the
+//! envelope, so two hits on the same key are byte-identical — the
+//! property the service tests pin down.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, reason, write_response, Request};
+use crate::json::{obj, parse, Json};
+use crate::queue::{JobStatus, JobView, Quota, ServiceState};
+use crate::scenario;
+use crate::spec::ScenarioSpec;
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing simulations. `0` is allowed (jobs queue
+    /// but never run) — useful for tests that pin down admission
+    /// behavior without racing the execution path.
+    pub workers: usize,
+    /// Global queue capacity.
+    pub queue_cap: usize,
+    /// Per-tenant admission limits.
+    pub quota: Quota,
+    /// How long `?wait=1` blocks before giving up on a job.
+    pub wait_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            quota: Quota::default(),
+            wait_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`shutdown`](Server::shutdown).
+pub struct Server {
+    state: Arc<ServiceState>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServiceState::new(cfg.quota, cfg.queue_cap));
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker_threads = (0..cfg.workers)
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("duet-serve-worker{i}"))
+                    .spawn(move || state.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept_thread = {
+            let state = state.clone();
+            let stop = stop.clone();
+            let wait_timeout = cfg.wait_timeout;
+            std::thread::Builder::new()
+                .name("duet-serve-accept".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let state = state.clone();
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(&state, stream, wait_timeout);
+                        });
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            state,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (test hook: cache poisoning, counters).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains workers, and joins every service thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.state.shutdown();
+        // The accept loop blocks in `accept`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(
+    state: &Arc<ServiceState>,
+    mut stream: TcpStream,
+    wait_timeout: Duration,
+) -> io::Result<()> {
+    let req = match read_request(&mut stream) {
+        Ok(Some(req)) => req,
+        Ok(None) => return Ok(()),
+        Err(e) => {
+            let body = error_body("bad_request", &e.to_string());
+            return write_response(&mut stream, 400, reason(400), "application/json", &body);
+        }
+    };
+    let (status, body) = route(state, &req, wait_timeout);
+    write_response(
+        &mut stream,
+        status,
+        reason(status),
+        "application/json",
+        &body,
+    )
+}
+
+fn error_body(kind: &str, message: &str) -> Vec<u8> {
+    obj([(
+        "error",
+        obj([
+            ("kind", Json::Str(kind.to_string())),
+            ("message", Json::Str(message.to_string())),
+        ]),
+    )])
+    .to_bytes()
+}
+
+/// Splices pre-serialized payload bytes into an envelope without
+/// re-parsing them — the splice is what keeps cache hits byte-identical.
+fn envelope(fields: &[(&str, String)], result_key: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 128);
+    out.push(b'{');
+    for (k, v) in fields {
+        out.extend_from_slice(Json::Str((*k).to_string()).to_json().as_bytes());
+        out.push(b':');
+        out.extend_from_slice(v.as_bytes());
+        out.push(b',');
+    }
+    out.extend_from_slice(Json::Str(result_key.to_string()).to_json().as_bytes());
+    out.push(b':');
+    out.extend_from_slice(payload);
+    out.push(b'}');
+    out
+}
+
+fn route(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) -> (u16, Vec<u8>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, obj([("ok", Json::Bool(true))]).to_bytes()),
+        ("GET", "/v1/stats") => (200, stats_body(state)),
+        ("POST", "/v1/runs") => post_run(state, req, wait_timeout),
+        ("GET", path) if path.starts_with("/v1/runs/") => {
+            get_run(state, &path["/v1/runs/".len()..])
+        }
+        ("GET", path) if path.starts_with("/v1/cache/") => {
+            get_cache(state, &path["/v1/cache/".len()..])
+        }
+        ("GET" | "POST", _) => (
+            404,
+            error_body("not_found", &format!("no route {}", req.path)),
+        ),
+        _ => (405, error_body("method_not_allowed", &req.method)),
+    }
+}
+
+fn stats_body(state: &Arc<ServiceState>) -> Vec<u8> {
+    let c = state.cache.stats();
+    let (queued, running, done, failed) = state.job_counts();
+    obj([
+        (
+            "cache",
+            obj([
+                ("hits", Json::U64(c.hits)),
+                ("misses", Json::U64(c.misses)),
+                ("inserts", Json::U64(c.inserts)),
+                ("entries", Json::U64(c.entries)),
+                ("verify_mismatches", Json::U64(c.verify_mismatches)),
+            ]),
+        ),
+        (
+            "jobs",
+            obj([
+                ("queued", Json::U64(queued)),
+                ("running", Json::U64(running)),
+                ("done", Json::U64(done)),
+                ("failed", Json::U64(failed)),
+            ]),
+        ),
+    ])
+    .to_bytes()
+}
+
+fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) -> (u16, Vec<u8>) {
+    let body = match parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body("bad_json", &e.to_string())),
+    };
+    let spec = match ScenarioSpec::from_json(&body) {
+        Ok(s) => s,
+        Err(e) => return (400, error_body("bad_spec", &e.0)),
+    };
+    let tenant = req.header("x-duet-tenant").unwrap_or("anon").to_string();
+    let key = spec.cache_key();
+    let key_hex = format!("\"{:016x}\"", key);
+
+    if let Some(cached) = state.cache.lookup(key) {
+        if req.query_flag("verify") {
+            return verify_hit(state, &spec, key, &key_hex, &cached);
+        }
+        let body = envelope(
+            &[
+                ("status", "\"done\"".to_string()),
+                ("cache", "\"hit\"".to_string()),
+                ("key", key_hex),
+            ],
+            "result",
+            &cached,
+        );
+        return (200, body);
+    }
+
+    let id = match state.submit(&tenant, spec) {
+        Ok(id) => id,
+        Err(e) => {
+            let body = obj([("error", e.to_json())]).to_bytes();
+            return (e.http_status(), body);
+        }
+    };
+    if !req.query_flag("wait") {
+        let body = obj([
+            ("status", Json::Str("queued".into())),
+            ("id", Json::U64(id)),
+            ("cache", Json::Str("miss".into())),
+            ("key", Json::Str(format!("{key:016x}"))),
+        ])
+        .to_bytes();
+        return (202, body);
+    }
+    match state.wait_done(id, wait_timeout) {
+        Some(view) => match view.status {
+            JobStatus::Done => {
+                let payload = view.payload.expect("done job has payload");
+                let body = envelope(
+                    &[
+                        ("status", "\"done\"".to_string()),
+                        ("cache", "\"miss\"".to_string()),
+                        ("key", key_hex),
+                        ("id", id.to_string()),
+                    ],
+                    "result",
+                    &payload,
+                );
+                (200, body)
+            }
+            JobStatus::Failed => {
+                let error = view.error.unwrap_or_else(|| "{}".to_string());
+                let body = envelope(
+                    &[
+                        ("status", "\"failed\"".to_string()),
+                        ("cache", "\"miss\"".to_string()),
+                        ("key", key_hex),
+                        ("id", id.to_string()),
+                    ],
+                    "error",
+                    error.as_bytes(),
+                );
+                (200, body)
+            }
+            _ => (
+                200,
+                obj([
+                    ("status", Json::Str("timeout".into())),
+                    ("id", Json::U64(id)),
+                ])
+                .to_bytes(),
+            ),
+        },
+        None => (500, error_body("lost_job", "job record disappeared")),
+    }
+}
+
+/// `?verify=1` on a cache hit: re-run the spec through the production
+/// execution path and demand the payload be byte-identical to the stored
+/// entry. A mismatch means either the cache was corrupted or the
+/// simulator broke bit-determinism — both worth a loud, structured 409;
+/// the entry is evicted so the next run repopulates it honestly.
+fn verify_hit(
+    state: &Arc<ServiceState>,
+    spec: &ScenarioSpec,
+    key: u64,
+    key_hex: &str,
+    cached: &[u8],
+) -> (u16, Vec<u8>) {
+    let progress = AtomicU64::new(0);
+    let fresh = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scenario::execute(spec, |ps| progress.store(ps, Ordering::Relaxed))
+    }));
+    let fresh_payload = match fresh {
+        Ok(Ok(out)) => scenario::result_payload(spec, &out),
+        Ok(Err(run_err)) => {
+            return (
+                409,
+                obj([
+                    ("status", Json::Str("verify_failed".into())),
+                    ("key", Json::Str(format!("{key:016x}"))),
+                    ("error", scenario::error_json(&run_err)),
+                ])
+                .to_bytes(),
+            )
+        }
+        Err(_) => return (500, error_body("panic", "verification run panicked")),
+    };
+    if fresh_payload == cached {
+        let body = envelope(
+            &[
+                ("status", "\"done\"".to_string()),
+                ("cache", "\"hit\"".to_string()),
+                ("verified", "true".to_string()),
+                ("key", key_hex.to_string()),
+            ],
+            "result",
+            cached,
+        );
+        return (200, body);
+    }
+    state.cache.note_verify_mismatch();
+    state.cache.evict(key);
+    let body = obj([
+        ("status", Json::Str("verify_mismatch".into())),
+        ("key", Json::Str(format!("{key:016x}"))),
+        ("cached_len", Json::U64(cached.len() as u64)),
+        ("fresh_len", Json::U64(fresh_payload.len() as u64)),
+        (
+            "message",
+            Json::Str(
+                "cached payload differs from a fresh deterministic re-run; entry evicted".into(),
+            ),
+        ),
+    ])
+    .to_bytes();
+    (409, body)
+}
+
+fn get_run(state: &Arc<ServiceState>, id_str: &str) -> (u16, Vec<u8>) {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return (400, error_body("bad_id", id_str));
+    };
+    let Some(view) = state.job_view(id) else {
+        return (404, error_body("unknown_job", id_str));
+    };
+    (200, job_body(&view))
+}
+
+fn job_body(view: &JobView) -> Vec<u8> {
+    let mut fields: Vec<(&str, String)> = vec![
+        ("id", view.id.to_string()),
+        ("tenant", Json::Str(view.tenant.clone()).to_json()),
+        (
+            "status",
+            Json::Str(view.status.label().to_string()).to_json(),
+        ),
+        ("key", format!("\"{:016x}\"", view.key)),
+        (
+            "progress",
+            obj([
+                ("sim_ps", Json::U64(view.sim_ps)),
+                ("target_ps", Json::U64(view.target_ps)),
+            ])
+            .to_json(),
+        ),
+        ("spec", view.spec.to_json().to_json()),
+    ];
+    match view.status {
+        JobStatus::Done => {
+            let payload = view.payload.clone().expect("done job has payload");
+            envelope(&fields, "result", &payload)
+        }
+        JobStatus::Failed => {
+            let error = view.error.clone().unwrap_or_else(|| "{}".to_string());
+            envelope(&fields, "error", error.as_bytes())
+        }
+        _ => {
+            // No result yet: close the envelope after the last field.
+            fields.push(("cache", Json::Str("miss".into()).to_json()));
+            let mut out = Vec::new();
+            out.push(b'{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                out.extend_from_slice(Json::Str((*k).to_string()).to_json().as_bytes());
+                out.push(b':');
+                out.extend_from_slice(v.as_bytes());
+            }
+            out.push(b'}');
+            out
+        }
+    }
+}
+
+fn get_cache(state: &Arc<ServiceState>, key_str: &str) -> (u16, Vec<u8>) {
+    let Ok(key) = u64::from_str_radix(key_str, 16) else {
+        return (400, error_body("bad_key", key_str));
+    };
+    match state.cache.lookup(key) {
+        Some(payload) => (200, payload.to_vec()),
+        None => (404, error_body("unknown_key", key_str)),
+    }
+}

@@ -6,7 +6,7 @@ use duet_cpu::CoreConfig;
 use duet_mem::priv_cache::CacheConfig;
 use duet_mem::DirConfig;
 use duet_sim::Clock;
-use duet_verify::{FaultKind, FaultPlan};
+use duet_verify::FaultPlan;
 
 /// Which system architecture to model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -206,54 +206,53 @@ impl SystemConfig {
         Ok(())
     }
 
-    /// A stable 64-bit digest of every field that affects simulated state.
+    /// Appends the canonical byte encoding of every field that affects
+    /// simulated state to `w`: topology, clocks, variant, MMIO base, and
+    /// the full fault plan (via [`FaultPlan::canonical_encode`]).
     ///
-    /// Stamped into snapshot headers so a snapshot taken under one
-    /// configuration refuses to load into a system built from another.
     /// `sim_threads` and `mesh_shards` are deliberately excluded: shard
     /// counts only trade host CPUs for wall-clock time (results are
-    /// bit-identical), so a snapshot taken at one thread or mesh-shard
-    /// count must restore at any other. The fault plan
-    /// *is* folded in — replaying a checkpoint under a different plan would
-    /// silently change the run.
-    pub fn config_hash(&self) -> u64 {
-        use duet_sim::SnapHasher;
-        let mut h = SnapHasher::new();
-        h.usize(self.processors);
-        h.usize(self.memory_hubs);
-        h.bool(self.has_fpga);
-        h.f64(self.fpga_mhz);
-        h.u64(match self.variant {
+    /// bit-identical), so two configs differing only there are the *same*
+    /// simulated system. This one encoding backs both consumers of
+    /// config identity — the snapshot header hash
+    /// ([`config_hash`](SystemConfig::config_hash)) and the service
+    /// layer's content-addressed cache key — so they can never drift
+    /// apart.
+    pub fn canonical_encode(&self, w: &mut duet_sim::SnapWriter) {
+        w.len64(self.processors);
+        w.len64(self.memory_hubs);
+        w.u8(u8::from(self.has_fpga));
+        w.u64(self.fpga_mhz.to_bits());
+        w.u8(match self.variant {
             Variant::Duet => 0,
             Variant::Fpsoc => 1,
             Variant::ProcOnly => 2,
         });
-        h.u64(self.clock.period().as_ps());
-        h.u64(self.kernel_latency_cycles);
-        h.usize(self.proxy_mshrs);
-        h.u64(self.mmio_base);
-        h.u64(self.faults.seed);
-        h.usize(self.faults.specs.len());
-        for spec in &self.faults.specs {
-            let (code, a, b) = match spec.kind {
-                FaultKind::AccelHang => (0u64, 0u64, 0u64),
-                FaultKind::CdcFreeze { hub } => (1, hub as u64, 0),
-                FaultKind::NocDelay { node } => (2, node as u64, 0),
-                FaultKind::NocReorder { node, count } => (3, node as u64, u64::from(count)),
-                FaultKind::NocDrop { node, count } => (4, node as u64, u64::from(count)),
-                FaultKind::L3RespStall { node } => (5, node as u64, 0),
-                FaultKind::L3RespDrop { node, count } => (6, node as u64, u64::from(count)),
-            };
-            h.u64(code);
-            h.u64(a);
-            h.u64(b);
-            h.u64(spec.from.as_ps());
-            h.u64(spec.until.as_ps());
-        }
-        h.bool(self.faults.degrade.is_some());
-        if let Some(d) = &self.faults.degrade {
-            h.u64(d.fence_after.as_ps());
-        }
+        w.u64(self.clock.period().as_ps());
+        w.u64(self.kernel_latency_cycles);
+        w.len64(self.proxy_mshrs);
+        w.u64(self.mmio_base);
+        self.faults.canonical_encode(w);
+    }
+
+    /// The canonical encoding as an owned buffer.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = duet_sim::SnapWriter::new();
+        self.canonical_encode(&mut w);
+        w.finish()
+    }
+
+    /// A stable 64-bit digest of the canonical encoding
+    /// ([`canonical_encode`](SystemConfig::canonical_encode)).
+    ///
+    /// Stamped into snapshot headers so a snapshot taken under one
+    /// configuration refuses to load into a system built from another.
+    /// The fault plan *is* folded in — replaying a checkpoint under a
+    /// different plan would silently change the run.
+    pub fn config_hash(&self) -> u64 {
+        use duet_sim::SnapHasher;
+        let mut h = SnapHasher::new();
+        h.bytes(&self.canonical_bytes());
         h.finish()
     }
 
@@ -428,6 +427,35 @@ mod tests {
         assert_eq!(c.validate(), Ok(()));
         assert_eq!(c.sim_threads, 1, "presets default to the serial loop");
         assert_eq!(c.mesh_shards, 0, "mesh shards default to follow threads");
+    }
+
+    #[test]
+    fn config_hash_covers_state_fields_and_ignores_shard_knobs() {
+        use duet_verify::{FaultKind, FaultSpec};
+        let base = SystemConfig::dolly(2, 2, 100.0);
+        assert_eq!(base.config_hash(), base.clone().config_hash());
+
+        // Host-parallelism knobs are not part of config identity: a
+        // snapshot taken at one shard count restores at any other, and a
+        // cached service result is reusable at any thread count.
+        let mut threaded = base.clone();
+        threaded.sim_threads = 4;
+        threaded.mesh_shards = 2;
+        assert_eq!(base.config_hash(), threaded.config_hash());
+
+        // Everything that changes simulated behavior must change the hash.
+        let mut other = base.clone();
+        other.processors = 3;
+        assert_ne!(base.config_hash(), other.config_hash());
+        let mut other = base.clone();
+        other.fpga_mhz = 126.0;
+        assert_ne!(base.config_hash(), other.config_hash());
+        let mut other = base.clone();
+        other.faults = other.faults.with(FaultSpec::starting(
+            FaultKind::AccelHang,
+            duet_sim::Time::from_us(1),
+        ));
+        assert_ne!(base.config_hash(), other.config_hash());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::fmt;
 
 use duet_noc::NodeId;
-use duet_sim::{SimRng, Time};
+use duet_sim::{SimRng, SnapWriter, Time};
 
 /// One kind of injectable fault. Node/hub indices refer to the mesh node or
 /// adapter hub they target.
@@ -79,6 +79,23 @@ impl FaultKind {
             FaultKind::NocDrop { .. } => "noc_drop",
             FaultKind::L3RespStall { .. } => "l3_stall",
             FaultKind::L3RespDrop { .. } => "l3_drop",
+        }
+    }
+
+    /// The stable `(code, arg_a, arg_b)` triple used by the canonical byte
+    /// encoding ([`FaultPlan::canonical_encode`]). Codes are append-only:
+    /// existing kinds never renumber, so canonical bytes (and every hash
+    /// derived from them — snapshot headers, service cache keys) stay
+    /// comparable across revisions.
+    pub fn canonical_code(&self) -> (u64, u64, u64) {
+        match *self {
+            FaultKind::AccelHang => (0, 0, 0),
+            FaultKind::CdcFreeze { hub } => (1, hub as u64, 0),
+            FaultKind::NocDelay { node } => (2, node as u64, 0),
+            FaultKind::NocReorder { node, count } => (3, node as u64, u64::from(count)),
+            FaultKind::NocDrop { node, count } => (4, node as u64, u64::from(count)),
+            FaultKind::L3RespStall { node } => (5, node as u64, 0),
+            FaultKind::L3RespDrop { node, count } => (6, node as u64, u64::from(count)),
         }
     }
 }
@@ -181,6 +198,29 @@ impl FaultPlan {
         best
     }
 
+    /// Appends the plan's canonical byte encoding to `w`: seed, each spec
+    /// as its [`FaultKind::canonical_code`] triple plus window bounds, and
+    /// the degrade policy. This is *the* canonical form — the
+    /// `SystemConfig` hash stamped into snapshot headers and the
+    /// content-addressed cache key of the service layer both hash exactly
+    /// these bytes, so the two can never disagree about what a plan means.
+    pub fn canonical_encode(&self, w: &mut SnapWriter) {
+        w.u64(self.seed);
+        w.len64(self.specs.len());
+        for spec in &self.specs {
+            let (code, a, b) = spec.kind.canonical_code();
+            w.u64(code);
+            w.u64(a);
+            w.u64(b);
+            w.u64(spec.from.as_ps());
+            w.u64(spec.until.as_ps());
+        }
+        w.u8(u8::from(self.degrade.is_some()));
+        if let Some(d) = &self.degrade {
+            w.u64(d.fence_after.as_ps());
+        }
+    }
+
     /// Generates a small randomized plan for soak testing. `nodes` is the
     /// mesh size, `hubs` the adapter hub count (0 for processor-only
     /// systems), and `horizon` the time range in which windows are placed.
@@ -228,9 +268,18 @@ impl FaultPlan {
     /// fault accel_hang from_us=10
     /// fault cdc_freeze hub=0 from_us=5 until_us=20
     /// fault noc_drop node=2 count=1 from_us=0
+    /// fault noc_delay node=1 from_ps=1500 until_ps=2500001
     /// ```
     ///
-    /// Times are microseconds; a missing `until_us` means open-ended.
+    /// Every time key comes in a `_us` (microseconds) and a `_ps`
+    /// (picoseconds) spelling; giving both for the same bound is an error.
+    /// A missing `until_us`/`until_ps` means open-ended. [`render`] emits
+    /// `_us` for whole-microsecond instants and `_ps` otherwise, so any
+    /// plan — including the picosecond-granular windows produced by
+    /// [`randomized`] — round-trips losslessly through the text format.
+    ///
+    /// [`render`]: FaultPlan::render
+    /// [`randomized`]: FaultPlan::randomized
     pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
         let mut plan = FaultPlan::empty();
         for (lineno, raw) in text.lines().enumerate() {
@@ -250,11 +299,9 @@ impl FaultPlan {
                 plan.seed = v.trim().parse().map_err(|_| err("seed is not a number"))?;
             } else if let Some(rest) = line.strip_prefix("degrade") {
                 let kv = parse_kv(rest, lineno + 1)?;
-                let us = lookup(&kv, "fence_after_us")
-                    .ok_or_else(|| err("degrade needs fence_after_us=<u64>"))?;
-                plan.degrade = Some(DegradeConfig {
-                    fence_after: Time::from_us(us),
-                });
+                let fence_after = lookup_time(&kv, "fence_after", lineno + 1)?
+                    .ok_or_else(|| err("degrade needs fence_after_us=<u64> (or _ps)"))?;
+                plan.degrade = Some(DegradeConfig { fence_after });
             } else if let Some(rest) = line.strip_prefix("fault") {
                 let mut words = rest.trim().splitn(2, char::is_whitespace);
                 let name = words.next().unwrap_or("");
@@ -288,13 +335,9 @@ impl FaultPlan {
                         return Err(err(&format!("unknown fault kind `{other}`")));
                     }
                 };
-                let from = Time::from_us(
-                    lookup(&kv, "from_us").ok_or_else(|| err("fault needs from_us=<u64>"))?,
-                );
-                let until = match lookup(&kv, "until_us") {
-                    Some(us) => Time::from_us(us),
-                    None => Time::MAX,
-                };
+                let from = lookup_time(&kv, "from", lineno + 1)?
+                    .ok_or_else(|| err("fault needs from_us=<u64> (or from_ps)"))?;
+                let until = lookup_time(&kv, "until", lineno + 1)?.unwrap_or(Time::MAX);
                 plan.specs.push(FaultSpec { kind, from, until });
             } else {
                 return Err(err("expected `seed`, `degrade`, or `fault`"));
@@ -303,14 +346,28 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// Renders the plan back into the [`parse`](FaultPlan::parse) format.
+    /// Renders the plan back into the exact [`parse`](FaultPlan::parse)
+    /// syntax. Whole-microsecond instants come out as the human-friendly
+    /// `_us` keys, anything finer as `_ps`, so `parse(render(p)) == p` for
+    /// *every* plan — including picosecond-granular randomized windows and
+    /// sub-microsecond degrade fences. Service specs embed plans as this
+    /// text, and the round-trip guarantee is what lets the server echo
+    /// them back to clients losslessly.
     pub fn render(&self) -> String {
+        let time_kv = |key: &str, t: Time| {
+            let ps = t.as_ps();
+            if ps.is_multiple_of(1_000_000) {
+                format!(" {key}_us={}", ps / 1_000_000)
+            } else {
+                format!(" {key}_ps={ps}")
+            }
+        };
         let mut out = String::new();
         out.push_str(&format!("seed = {}\n", self.seed));
         if let Some(d) = &self.degrade {
             out.push_str(&format!(
-                "degrade fence_after_us={}\n",
-                d.fence_after.as_ps() / 1_000_000
+                "degrade{}\n",
+                time_kv("fence_after", d.fence_after)
             ));
         }
         for s in &self.specs {
@@ -327,9 +384,9 @@ impl FaultPlan {
                     out.push_str(&format!(" node={node} count={count}"));
                 }
             }
-            out.push_str(&format!(" from_us={}", s.from.as_ps() / 1_000_000));
+            out.push_str(&time_kv("from", s.from));
             if s.until < Time::MAX {
-                out.push_str(&format!(" until_us={}", s.until.as_ps() / 1_000_000));
+                out.push_str(&time_kv("until", s.until));
             }
             out.push('\n');
         }
@@ -414,6 +471,26 @@ fn parse_kv(rest: &str, line: usize) -> Result<Vec<(String, u64)>, PlanParseErro
 
 fn lookup(kv: &[(String, u64)], key: &str) -> Option<u64> {
     kv.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+/// Resolves a time bound that may be spelled `<base>_us` or `<base>_ps`.
+/// Both at once is ambiguous and rejected.
+fn lookup_time(
+    kv: &[(String, u64)],
+    base: &str,
+    line: usize,
+) -> Result<Option<Time>, PlanParseError> {
+    let us = lookup(kv, &format!("{base}_us"));
+    let ps = lookup(kv, &format!("{base}_ps"));
+    match (us, ps) {
+        (Some(_), Some(_)) => Err(PlanParseError {
+            line,
+            msg: format!("give {base}_us or {base}_ps, not both"),
+        }),
+        (Some(us), None) => Ok(Some(Time::from_us(us))),
+        (None, Some(ps)) => Ok(Some(Time::from_ps(ps))),
+        (None, None) => Ok(None),
+    }
 }
 
 /// A syntax error in a fault-plan file.
@@ -531,6 +608,67 @@ fault l3_stall node=4 from_us=1 until_us=9
 
         let empty = FaultIndex::new(&FaultPlan::empty(), 4);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn render_roundtrips_ps_granular_plans_losslessly() {
+        // The text format historically truncated to whole microseconds;
+        // randomized plans have picosecond-granular windows, and service
+        // specs embed sub-microsecond degrade fences. All of it must come
+        // back bit-equal through parse → render → parse.
+        for seed in 0..32u64 {
+            let mut p = FaultPlan::randomized(seed, 16, 2, Time::from_us(100));
+            p.degrade = Some(DegradeConfig {
+                fence_after: Time::from_ps(1_234_567),
+            });
+            let text = p.render();
+            let p2 = FaultPlan::parse(&text).expect("rendered plan parses");
+            assert_eq!(p, p2, "seed {seed} did not round-trip:\n{text}");
+            // A second trip is a fixed point.
+            assert_eq!(p2.render(), text);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_ps_keys_and_rejects_ambiguous_bounds() {
+        let p = FaultPlan::parse("fault noc_delay node=1 from_ps=1500 until_ps=2500001\n")
+            .expect("ps keys parse");
+        assert_eq!(p.specs[0].from, Time::from_ps(1500));
+        assert_eq!(p.specs[0].until, Time::from_ps(2_500_001));
+        let d = FaultPlan::parse("degrade fence_after_ps=42\n").expect("ps fence parses");
+        assert_eq!(
+            d.degrade,
+            Some(DegradeConfig {
+                fence_after: Time::from_ps(42)
+            })
+        );
+        let err = FaultPlan::parse("fault accel_hang from_us=1 from_ps=1000000\n").unwrap_err();
+        assert!(err.msg.contains("not both"), "got: {}", err.msg);
+    }
+
+    #[test]
+    fn canonical_encoding_distinguishes_plans_and_is_stable() {
+        let enc = |p: &FaultPlan| {
+            let mut w = SnapWriter::new();
+            p.canonical_encode(&mut w);
+            w.finish()
+        };
+        let a = FaultPlan::empty().with(FaultSpec::starting(
+            FaultKind::NocDrop { node: 2, count: 1 },
+            Time::from_us(1),
+        ));
+        assert_eq!(enc(&a), enc(&a.clone()), "encoding must be deterministic");
+        let b = FaultPlan::empty().with(FaultSpec::starting(
+            FaultKind::NocDrop { node: 2, count: 2 },
+            Time::from_us(1),
+        ));
+        assert_ne!(enc(&a), enc(&b), "budget must be encoded");
+        let mut c = a.clone();
+        c.degrade = Some(DegradeConfig::default());
+        assert_ne!(enc(&a), enc(&c), "degrade policy must be encoded");
+        let mut d = a.clone();
+        d.seed = 9;
+        assert_ne!(enc(&a), enc(&d), "seed must be encoded");
     }
 
     #[test]

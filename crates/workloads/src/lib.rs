@@ -18,7 +18,9 @@ pub mod synthetic;
 pub mod tangent;
 
 pub use common::{AppResult, BenchVariant};
+pub use popcount::POPCOUNT_MHZ;
 pub use synthetic::{
     measure_bandwidth, measure_contention, measure_latency, measure_latency_traced, BandwidthPoint,
     ContentionPoint, LatencyPoint, Mechanism, Scratchpad,
 };
+pub use tangent::TANGENT_MHZ;

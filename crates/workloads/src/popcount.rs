@@ -185,11 +185,36 @@ fn check(sys: &System, layout: &PopcountLayout, expected: &[u64]) -> bool {
     (0..layout.n).all(|v| sys.peek_u64(layout.out + v * 8) == expected[v as usize])
 }
 
-/// Runs the popcount benchmark on the given variant.
-pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
+/// Scores a system built by [`prepare`]: layout plus expected counts.
+pub struct PopcountCheck {
+    layout: PopcountLayout,
+    expected: Vec<u64>,
+}
+
+impl PopcountCheck {
+    /// Whether every output count matches the reference.
+    pub fn check(&self, sys: &System) -> bool {
+        check(sys, &self.layout, &self.expected)
+    }
+}
+
+/// Builds a ready-to-run popcount system — data installed, program loaded,
+/// accelerator attached (for the accelerated variants), caches warmed (for
+/// the baseline) — without running it. `faults` is folded into the system
+/// config before construction, so callers (the service layer, fault
+/// harnesses) can schedule deterministic fault windows around the workload
+/// and drive the run through the `Result`-typed run APIs themselves.
+pub fn prepare(
+    variant: BenchVariant,
+    n: u64,
+    seed: u64,
+    faults: duet_system::FaultPlan,
+) -> (System, PopcountCheck) {
     let layout = PopcountLayout::new(n);
     let (bytes, expected) = generate(n, seed);
-    let mut sys = System::new(variant.system_config(1, 1, POPCOUNT_MHZ)).expect("valid config");
+    let mut cfg = variant.system_config(1, 1, POPCOUNT_MHZ);
+    cfg.faults = faults;
+    let mut sys = System::new(cfg).expect("valid config");
     install_data(&mut sys, &layout, &bytes);
 
     let prog = match variant {
@@ -262,6 +287,12 @@ pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
         sys.warm_shared(layout.vectors, n * VEC_BYTES, 0);
         sys.warm_shared(layout.lut, 256, 0);
     }
+    (sys, PopcountCheck { layout, expected })
+}
+
+/// Runs the popcount benchmark on the given variant.
+pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
+    let (mut sys, scorer) = prepare(variant, n, seed, duet_system::FaultPlan::empty());
     let runtime = sys
         .run_until_halt(Time::from_us(200_000))
         .unwrap_or_else(|e| panic!("{e}"));
@@ -274,7 +305,7 @@ pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
         memory_hubs: 1,
         fpga_mhz: POPCOUNT_MHZ,
         runtime,
-        correct: check(&sys, &layout, &expected),
+        correct: scorer.check(&sys),
     }
 }
 

@@ -226,11 +226,41 @@ pub fn generate(n: u64, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-/// Runs the tangent benchmark.
-pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
+/// Scores a system built by [`prepare`]: layout, reference angles, and the
+/// variant-specific tolerance (exact-ish for the software `tan`, the PWL
+/// error bound for the accelerated designs).
+pub struct TangentCheck {
+    layout: TangentLayout,
+    angles: Vec<f64>,
+    tol: f64,
+}
+
+impl TangentCheck {
+    /// Whether every output is within tolerance of the reference `tan`.
+    pub fn check(&self, sys: &System) -> bool {
+        self.angles.iter().enumerate().all(|(i, &x)| {
+            let got = sys.peek_f64(self.layout.out + (i as u64) * 8);
+            let want = x.tan();
+            (got - want).abs() <= self.tol * want.abs().max(1.0)
+        })
+    }
+}
+
+/// Builds a ready-to-run tangent system without running it — the
+/// fault-injectable sibling of [`run`], mirroring
+/// [`popcount::prepare`](crate::popcount::prepare). `faults` is folded
+/// into the system config before construction.
+pub fn prepare(
+    variant: BenchVariant,
+    n: u64,
+    seed: u64,
+    faults: duet_system::FaultPlan,
+) -> (System, TangentCheck) {
     let layout = TangentLayout::new(n);
     let angles = generate(n, seed);
-    let mut sys = System::new(variant.system_config(1, 0, TANGENT_MHZ)).expect("valid config");
+    let mut cfg = variant.system_config(1, 0, TANGENT_MHZ);
+    cfg.faults = faults;
+    let mut sys = System::new(cfg).expect("valid config");
     for (i, &x) in angles.iter().enumerate() {
         sys.poke_f64(layout.input + (i as u64) * 8, x);
     }
@@ -317,21 +347,28 @@ pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
     if variant == BenchVariant::ProcOnly {
         sys.warm_shared(layout.input, n * 8, 0);
     }
+    let tol = match variant {
+        BenchVariant::ProcOnly => 1e-6,
+        _ => 0.005, // the PWL design guarantees 0.3 %
+    };
+    (
+        sys,
+        TangentCheck {
+            layout,
+            angles,
+            tol,
+        },
+    )
+}
+
+/// Runs the tangent benchmark.
+pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
+    let (mut sys, scorer) = prepare(variant, n, seed, duet_system::FaultPlan::empty());
     let runtime = sys
         .run_until_halt(Time::from_us(200_000))
         .unwrap_or_else(|e| panic!("{e}"));
     sys.quiesce(Time::from_us(400_000))
         .unwrap_or_else(|e| panic!("{e}"));
-
-    let tol = match variant {
-        BenchVariant::ProcOnly => 1e-6,
-        _ => 0.005, // the PWL design guarantees 0.3 %
-    };
-    let correct = angles.iter().enumerate().all(|(i, &x)| {
-        let got = sys.peek_f64(layout.out + (i as u64) * 8);
-        let want = x.tan();
-        (got - want).abs() <= tol * want.abs().max(1.0)
-    });
     AppResult {
         name: "tangent".into(),
         variant,
@@ -339,7 +376,7 @@ pub fn run(variant: BenchVariant, n: u64, seed: u64) -> AppResult {
         memory_hubs: 0,
         fpga_mhz: TANGENT_MHZ,
         runtime,
-        correct,
+        correct: scorer.check(&sys),
     }
 }
 
