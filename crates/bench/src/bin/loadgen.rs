@@ -8,19 +8,25 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--seed N]
-//!         [--workers N] [--out FILE]
+//!         [--workers N] [--out FILE] [--retries N]
 //! ```
 //!
 //! The mix is generated from `--seed` with the simulator's own
 //! deterministic RNG, so two invocations against fresh servers issue the
 //! identical request sequence and (modulo wall-clock timing) produce the
 //! identical hit/miss ledger.
+//!
+//! Requests ride the retrying client: transient refusals (429/503,
+//! connection errors) back off exponentially with per-thread
+//! deterministic jitter and honor the server's `Retry-After`, so a
+//! briefly saturated or restarting server shows up as latency, not as
+//! failed samples. `--retries 1` restores one-shot behavior.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use duet_bench::parallel_map;
-use duet_serve::client;
+use duet_serve::client::{self, RetryPolicy};
 use duet_serve::json::Json;
 use duet_serve::server::{ServeConfig, Server};
 use duet_sim::SimRng;
@@ -102,6 +108,7 @@ fn main() {
     let mut seed = 1u64;
     let mut workers = 2usize;
     let mut out: Option<String> = None;
+    let mut retries = 5u32;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -121,6 +128,7 @@ fn main() {
             "--seed" => seed = val("--seed").parse().expect("number"),
             "--workers" => workers = val("--workers").parse().expect("number"),
             "--out" => out = Some(val("--out")),
+            "--retries" => retries = val("--retries").parse().expect("number"),
             "--threads" => {
                 val("--threads");
             } // consumed by parallel_map via configured_threads
@@ -151,10 +159,18 @@ fn main() {
     let mix: Vec<usize> = (0..requests).map(|_| draw(&mut rng, pool.len())).collect();
 
     let wall = Instant::now();
-    let samples: Vec<Sample> = parallel_map(mix, |idx| {
+    let mix: Vec<(usize, usize)> = mix.into_iter().enumerate().collect();
+    let samples: Vec<Sample> = parallel_map(mix, |(req_no, idx)| {
         let body = pool[idx].as_bytes();
+        // Per-request seed: each in-flight request jitters independently,
+        // but the whole schedule is still a pure function of --seed.
+        let policy = RetryPolicy {
+            max_attempts: retries.max(1),
+            seed: seed ^ (req_no as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..RetryPolicy::default()
+        };
         let start = Instant::now();
-        let resp = client::post_json(addr, "/v1/runs?wait=1", Some("loadgen"), body);
+        let resp = client::post_json_retry(addr, "/v1/runs?wait=1", Some("loadgen"), body, &policy);
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
         match resp {
             Ok(r) if r.status == 200 => {

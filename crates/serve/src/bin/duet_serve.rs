@@ -3,19 +3,32 @@
 //! ```text
 //! duet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!            [--max-queued N] [--max-concurrent N] [--max-sim-us N]
+//!            [--store DIR] [--fsync always|never]
+//!            [--cache-max-bytes N] [--io-timeout-secs N]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound, then serves
-//! until killed.
+//! until killed — or, after a `POST /v1/drain`, finishes every queued
+//! and running job, flushes the store, and **exits 0** (the graceful
+//! path a rolling deploy takes; `kill -9` is what the crash-recovery
+//! tier is for).
+//!
+//! With `--store DIR`, results are persisted to an append-only,
+//! CRC-verified segment log in `DIR` and recovered on the next start;
+//! the startup recovery summary goes to stderr and the full report to
+//! `GET /v1/recovery`.
 
 use std::time::Duration;
 
 use duet_serve::server::{ServeConfig, Server};
+use duet_serve::store::FsyncPolicy;
 
 fn usage() -> ! {
     eprintln!(
         "usage: duet-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
-         \x20                 [--max-queued N] [--max-concurrent N] [--max-sim-us N]"
+         \x20                 [--max-queued N] [--max-concurrent N] [--max-sim-us N]\n\
+         \x20                 [--store DIR] [--fsync always|never]\n\
+         \x20                 [--cache-max-bytes N] [--io-timeout-secs N]"
     );
     std::process::exit(2);
 }
@@ -40,6 +53,18 @@ fn main() {
             "--max-queued" => cfg.quota.max_queued = parse(&val("--max-queued")),
             "--max-concurrent" => cfg.quota.max_concurrent = parse(&val("--max-concurrent")),
             "--max-sim-us" => cfg.quota.max_sim_us = parse(&val("--max-sim-us")),
+            "--store" => cfg.store_dir = Some(val("--store").into()),
+            "--fsync" => {
+                let v = val("--fsync");
+                cfg.fsync = FsyncPolicy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--fsync must be 'always' or 'never', got '{v}'");
+                    usage()
+                });
+            }
+            "--cache-max-bytes" => cfg.cache_max_bytes = parse(&val("--cache-max-bytes")),
+            "--io-timeout-secs" => {
+                cfg.io_timeout = Duration::from_secs(parse(&val("--io-timeout-secs")))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -55,10 +80,10 @@ fn main() {
         }
     };
     println!("listening on {}", server.addr());
-    // Serve until the process is killed.
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
-    }
+    // Serve until drained (POST /v1/drain), then exit cleanly. A process
+    // kill at any point before that is handled by startup recovery.
+    server.serve_until_drained();
+    eprintln!("drained; exiting");
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> T {

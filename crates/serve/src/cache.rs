@@ -6,76 +6,241 @@
 //! bit-deterministic, those bytes are a pure function of the key — a hit
 //! returns them without simulating anything, and `?verify=1` can re-run
 //! the spec and demand byte-identity as a standing determinism check.
+//!
+//! Two tiers:
+//!
+//! * a **memory tier** — bounded by a configurable byte budget with
+//!   deterministic LRU eviction (strict recency order kept by a
+//!   sequence counter; same accesses → same evictions on any host);
+//! * an optional **disk tier** — the crash-consistent segment log in
+//!   [`store`](crate::store). Inserts are written through; memory
+//!   misses fall back to a CRC-verified disk read and promote the entry
+//!   back into memory. LRU eviction only drops the memory copy — the
+//!   durable record stays; eviction *for cause* (a `?verify=1`
+//!   mismatch) writes a tombstone so the poisoned entry stays dead
+//!   across restarts.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::store::DiskStore;
 
 /// Counters exposed on `GET /v1/stats`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found an entry (either tier).
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that found nothing in any tier.
     pub misses: u64,
     /// Entries stored.
     pub inserts: u64,
     /// `?verify=1` re-runs whose payload did not match the stored bytes.
     pub verify_mismatches: u64,
-    /// Entries currently resident.
+    /// Entries currently resident in the memory tier.
     pub entries: u64,
+    /// Payload bytes currently resident in the memory tier.
+    pub mem_bytes: u64,
+    /// Entries LRU-evicted from the memory tier to stay under budget.
+    pub evictions: u64,
+    /// Memory-tier misses served by the disk tier.
+    pub disk_hits: u64,
 }
 
-/// Thread-safe map from cache key to immutable payload bytes.
+/// Cache sizing and tiering.
+pub struct CacheConfig {
+    /// Memory-tier payload byte budget. The most recently touched entry
+    /// is never evicted, so a single oversized payload still caches.
+    pub max_bytes: u64,
+    /// Durable tier, if the service was started with `--store`.
+    pub store: Option<Arc<DiskStore>>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_bytes: 256 * 1024 * 1024,
+            store: None,
+        }
+    }
+}
+
+/// The memory tier: entries plus a strict LRU order. `seq` is a logical
+/// clock bumped on every touch; `by_seq` maps each live sequence number
+/// back to its key, so the least recently used entry is always the
+/// first map entry — no wall clock, no hash-order dependence.
 #[derive(Default)]
+struct MemTier {
+    entries: HashMap<u64, (Arc<Vec<u8>>, u64)>,
+    by_seq: BTreeMap<u64, u64>,
+    bytes: u64,
+    next_seq: u64,
+}
+
+impl MemTier {
+    fn touch(&mut self, key: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            let prev = std::mem::replace(&mut entry.1, seq);
+            self.by_seq.remove(&prev);
+            self.by_seq.insert(seq, key);
+        }
+    }
+
+    fn insert(&mut self, key: u64, payload: Arc<Vec<u8>>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.bytes += payload.len() as u64;
+        if let Some((old, old_seq)) = self.entries.insert(key, (payload, seq)) {
+            self.bytes -= old.len() as u64;
+            self.by_seq.remove(&old_seq);
+        }
+        self.by_seq.insert(seq, key);
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        match self.entries.remove(&key) {
+            Some((payload, seq)) => {
+                self.bytes -= payload.len() as u64;
+                self.by_seq.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts least-recently-used entries until under `budget`, never
+    /// evicting the most recently touched one. Returns how many went.
+    fn enforce_budget(&mut self, budget: u64) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget && self.entries.len() > 1 {
+            let key = match self.by_seq.iter().next() {
+                Some((_, &key)) => key,
+                None => break,
+            };
+            self.remove(key);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Thread-safe two-tier map from cache key to immutable payload bytes.
 pub struct ResultCache {
-    entries: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    mem: Mutex<MemTier>,
+    max_bytes: u64,
+    store: Option<Arc<DiskStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     verify_mismatches: AtomicU64,
+    evictions: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::with_config(CacheConfig::default())
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, memory-only cache with the default byte budget.
     pub fn new() -> Self {
         ResultCache::default()
     }
 
-    /// Looks up a key, counting a hit or miss.
+    /// A cache with an explicit budget and optional durable tier.
+    pub fn with_config(cfg: CacheConfig) -> Self {
+        ResultCache {
+            mem: Mutex::new(MemTier::default()),
+            max_bytes: cfg.max_bytes,
+            store: cfg.store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            verify_mismatches: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The durable tier, if configured.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
+    }
+
+    /// Looks up a key: memory first, then the disk tier (promoting the
+    /// entry back into memory on a disk hit). Counts a hit or miss.
     pub fn lookup(&self, key: u64) -> Option<Arc<Vec<u8>>> {
-        let got = self.entries.lock().expect("cache lock").get(&key).cloned();
-        match got {
-            Some(v) => {
+        {
+            let mut mem = self.mem.lock().expect("cache lock");
+            if let Some((payload, _)) = mem.entries.get(&key) {
+                let payload = payload.clone();
+                mem.touch(key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return Some(payload);
             }
         }
+        // Disk read happens outside the memory lock: it is the slow path
+        // and must not serialize memory-tier hits behind it.
+        if let Some(store) = &self.store {
+            if let Some(bytes) = store.get(key) {
+                let payload = Arc::new(bytes);
+                let evicted = {
+                    let mut mem = self.mem.lock().expect("cache lock");
+                    mem.insert(key, payload.clone());
+                    mem.enforce_budget(self.max_bytes)
+                };
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(payload);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Stores a payload. First write wins: concurrent workers that raced
     /// on the same spec computed identical bytes (determinism), so keeping
     /// the incumbent is safe and preserves pointer identity for holders.
+    /// Writes through to the disk tier (skipped while degraded).
     pub fn insert(&self, key: u64, payload: Vec<u8>) -> Arc<Vec<u8>> {
-        let mut map = self.entries.lock().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| {
+        let (entry, fresh, evicted) = {
+            let mut mem = self.mem.lock().expect("cache lock");
+            if let Some((existing, _)) = mem.entries.get(&key) {
+                let existing = existing.clone();
+                mem.touch(key);
+                (existing, false, 0)
+            } else {
+                let payload = Arc::new(payload);
+                mem.insert(key, payload.clone());
+                let evicted = mem.enforce_budget(self.max_bytes);
+                (payload, true, evicted)
+            }
+        };
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        if fresh {
             self.inserts.fetch_add(1, Ordering::Relaxed);
-            Arc::new(payload)
-        });
-        entry.clone()
+            // Durable append outside the memory lock; a degraded store
+            // absorbs this as a no-op.
+            if let Some(store) = &self.store {
+                store.append(key, &entry);
+            }
+        }
+        entry
     }
 
-    /// Drops an entry (used when verification catches a mismatch).
+    /// Drops an entry *for cause* (verification caught a mismatch). The
+    /// disk tier gets a tombstone so the entry stays dead after restart.
     pub fn evict(&self, key: u64) -> bool {
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .remove(&key)
-            .is_some()
+        let removed = self.mem.lock().expect("cache lock").remove(key);
+        if let Some(store) = &self.store {
+            store.append_tombstone(key);
+        }
+        removed
     }
 
     /// Records a verification mismatch.
@@ -86,9 +251,9 @@ impl ResultCache {
     /// Test hook: corrupts a stored entry in place by flipping one byte,
     /// simulating a poisoned cache. Returns false if the key is absent.
     pub fn poison(&self, key: u64) -> bool {
-        let mut map = self.entries.lock().expect("cache lock");
-        match map.get_mut(&key) {
-            Some(entry) => {
+        let mut mem = self.mem.lock().expect("cache lock");
+        match mem.entries.get_mut(&key) {
+            Some((entry, _)) => {
                 let mut bytes = (**entry).clone();
                 if let Some(b) = bytes.last_mut() {
                     *b ^= 0x01;
@@ -102,12 +267,19 @@ impl ResultCache {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
+        let (entries, mem_bytes) = {
+            let mem = self.mem.lock().expect("cache lock");
+            (mem.entries.len() as u64, mem.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             verify_mismatches: self.verify_mismatches.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache lock").len() as u64,
+            entries,
+            mem_bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -115,6 +287,23 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hostio::SharedMemIo;
+    use crate::store::{DiskStore, StoreConfig};
+
+    fn bounded(max_bytes: u64) -> ResultCache {
+        ResultCache::with_config(CacheConfig {
+            max_bytes,
+            store: None,
+        })
+    }
+
+    fn disk_backed(fs: &SharedMemIo, max_bytes: u64) -> ResultCache {
+        let store = DiskStore::open(StoreConfig::new("/cache"), Box::new(fs.clone())).unwrap();
+        ResultCache::with_config(CacheConfig {
+            max_bytes,
+            store: Some(Arc::new(store)),
+        })
+    }
 
     #[test]
     fn lookup_insert_and_stats() {
@@ -124,6 +313,7 @@ mod tests {
         assert_eq!(c.lookup(1).unwrap().as_slice(), b"abc");
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+        assert_eq!(s.mem_bytes, 3);
     }
 
     #[test]
@@ -144,5 +334,84 @@ mod tests {
         assert_ne!(c.lookup(9).unwrap().as_slice(), b"payload");
         assert!(c.evict(9));
         assert!(c.lookup(9).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let c = bounded(10);
+        c.insert(1, vec![0; 4]);
+        c.insert(2, vec![0; 4]);
+        c.lookup(1); // 2 is now least recently used
+        c.insert(3, vec![0; 4]); // 12 bytes > 10: evict 2
+        assert!(c.lookup(2).is_none());
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(3).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.mem_bytes, 8);
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let run = || {
+            let c = bounded(64);
+            for k in 0..32 {
+                c.insert(k, vec![k as u8; 8]);
+                c.lookup(k / 2);
+            }
+            let mut live: Vec<u64> = (0..32).filter(|&k| c.poison(k)).collect();
+            live.sort_unstable();
+            live
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oversized_single_entry_still_caches() {
+        let c = bounded(4);
+        c.insert(1, vec![0; 100]);
+        assert!(c.lookup(1).is_some(), "newest entry is never evicted");
+        c.insert(2, vec![0; 100]);
+        assert!(c.lookup(1).is_none());
+        assert!(c.lookup(2).is_some());
+    }
+
+    #[test]
+    fn disk_tier_serves_memory_evictions() {
+        let fs = SharedMemIo::new();
+        let c = disk_backed(&fs, 10);
+        c.insert(1, b"one-payload".to_vec()); // 11 bytes, over budget alone
+        c.insert(2, b"two-payload".to_vec()); // evicts 1 from memory
+        let got = c.lookup(1).expect("disk tier must backfill");
+        assert_eq!(got.as_slice(), b"one-payload");
+        assert_eq!(c.stats().disk_hits, 1);
+        assert!(c.stats().hits >= 1);
+    }
+
+    #[test]
+    fn evict_for_cause_tombstones_the_disk_tier() {
+        let fs = SharedMemIo::new();
+        {
+            let c = disk_backed(&fs, 1 << 20);
+            c.insert(5, b"poisoned".to_vec());
+            c.evict(5);
+        }
+        let c = disk_backed(&fs, 1 << 20);
+        assert!(c.lookup(5).is_none(), "tombstone survives restart");
+    }
+
+    #[test]
+    fn disk_tier_restart_round_trip() {
+        let fs = SharedMemIo::new();
+        {
+            let c = disk_backed(&fs, 1 << 20);
+            c.insert(1, b"alpha".to_vec());
+            c.insert(2, b"beta".to_vec());
+        }
+        let c = disk_backed(&fs, 1 << 20);
+        assert_eq!(c.lookup(1).unwrap().as_slice(), b"alpha");
+        assert_eq!(c.lookup(2).unwrap().as_slice(), b"beta");
+        assert_eq!(c.stats().disk_hits, 2);
     }
 }

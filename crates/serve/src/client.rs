@@ -1,6 +1,15 @@
 //! A tiny blocking HTTP client for the service API — used by the
 //! integration tests and the load generator. One request per connection,
 //! mirroring the server's `Connection: close` discipline.
+//!
+//! The retrying entry points ([`get_retry`], [`post_json_retry`]) wrap
+//! the one-shot [`request`] with **bounded retries**: connect/transport
+//! errors and 429/503 responses back off exponentially with
+//! deterministic jitter (a pure function of the policy seed and the
+//! attempt number — two clients with different seeds desynchronize, the
+//! same client replays identically), and a server-sent `Retry-After`
+//! header overrides the computed backoff. Any other status is returned
+//! immediately: a 4xx is the caller's bug, not the weather.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -11,6 +20,8 @@ use std::time::Duration;
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers, lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -19,6 +30,21 @@ impl Response {
     /// The body parsed as JSON.
     pub fn json(&self) -> Result<crate::json::Json, crate::json::JsonError> {
         crate::json::parse(&self.body)
+    }
+
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` header as whole seconds, if present and valid.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after")
+            .and_then(|v| v.trim().parse().ok())
     }
 }
 
@@ -52,14 +78,22 @@ pub fn request(
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
     let head_text = std::str::from_utf8(&raw[..split])
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 response head"))?;
-    let status_line = head_text.lines().next().unwrap_or("");
+    let mut lines = head_text.lines();
+    let status_line = lines.next().unwrap_or("");
     let status = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut resp_headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            resp_headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
     Ok(Response {
         status,
+        headers: resp_headers,
         body: raw[split + 4..].to_vec(),
     })
 }
@@ -81,4 +115,155 @@ pub fn post_json(
         headers.push(("x-duet-tenant", t));
     }
     request(addr, "POST", path, &headers, body)
+}
+
+/// Bounded-retry behavior for transient failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_ms: 50,
+            max_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based), in milliseconds:
+    /// `min(max, base · 2^attempt)` plus up to 50% deterministic jitter.
+    /// A pure function of `(seed, attempt)` — replayable, and distinct
+    /// seeds desynchronize a thundering herd.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_ms);
+        let mut z = self
+            .seed
+            .wrapping_add((attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let jitter = if exp == 0 {
+            0
+        } else {
+            (z ^ (z >> 31)) % (exp / 2 + 1)
+        };
+        exp + jitter
+    }
+}
+
+/// Whether a response status is worth retrying.
+fn transient_status(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// Sends a request with bounded retries per `policy`. Retries fire on
+/// transport errors and on 429/503 (honoring `Retry-After` when the
+/// server sends one); every other response returns immediately. The
+/// final attempt's outcome is returned as-is — including a still-429
+/// response — so callers can distinguish "gave up" from "failed".
+pub fn request_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> io::Result<Response> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        match request(addr, method, path, headers, body) {
+            Ok(resp) if !transient_status(resp.status) => return Ok(resp),
+            Ok(resp) => {
+                if attempt + 1 == attempts {
+                    return Ok(resp);
+                }
+                // Server-directed pacing wins over our own schedule.
+                let ms = match resp.retry_after_secs() {
+                    Some(secs) => secs.saturating_mul(1_000).min(policy.max_ms.max(1_000)),
+                    None => policy.backoff_ms(attempt),
+                };
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            Err(e) => {
+                if attempt + 1 == attempts {
+                    return Err(e);
+                }
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt)));
+            }
+        }
+    }
+    // Unreachable: the loop always returns on its final attempt.
+    Err(last_err.unwrap_or_else(|| io::Error::other("retries exhausted")))
+}
+
+/// `GET path` with bounded retries.
+pub fn get_retry(addr: SocketAddr, path: &str, policy: &RetryPolicy) -> io::Result<Response> {
+    request_retry(addr, "GET", path, &[], b"", policy)
+}
+
+/// `POST path` (JSON body, optional tenant) with bounded retries.
+pub fn post_json_retry(
+    addr: SocketAddr,
+    path: &str,
+    tenant: Option<&str>,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> io::Result<Response> {
+    let mut headers: Vec<(&str, &str)> = vec![("content-type", "application/json")];
+    if let Some(t) = tenant {
+        headers.push(("x-duet-tenant", t));
+    }
+    request_retry(addr, "POST", path, &headers, body, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_ms: 50,
+            max_ms: 400,
+            seed: 42,
+        };
+        for attempt in 0..6 {
+            let a = p.backoff_ms(attempt);
+            let b = p.backoff_ms(attempt);
+            assert_eq!(a, b, "same (seed, attempt) → same backoff");
+            let exp = (50u64 << attempt).min(400);
+            assert!(a >= exp && a <= exp + exp / 2, "{a} out of range for {exp}");
+        }
+        let other = RetryPolicy { seed: 43, ..p };
+        assert!(
+            (0..6).any(|i| p.backoff_ms(i) != other.backoff_ms(i)),
+            "different seeds must desynchronize"
+        );
+    }
+
+    #[test]
+    fn transient_statuses() {
+        assert!(transient_status(429));
+        assert!(transient_status(503));
+        assert!(!transient_status(200));
+        assert!(!transient_status(400));
+        assert!(!transient_status(408));
+    }
 }

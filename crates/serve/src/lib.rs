@@ -26,11 +26,14 @@
 //! - [`json`] — dependency-free JSON with deterministic serialization
 //! - [`spec`] — scenario specs, validation, canonical bytes, cache keys
 //! - [`scenario`] — spec → `System` → run → payload / structured error
-//! - [`cache`] — the content-addressed result cache
-//! - [`queue`] — bounded queue, worker pool, per-tenant quotas
+//! - [`cache`] — the content-addressed result cache (bounded memory
+//!   tier + optional durable disk tier)
+//! - [`hostio`] — injectable host I/O with a deterministic fault layer
+//! - [`store`] — the crash-consistent append-only segment log
+//! - [`queue`] — bounded queue, worker pool, per-tenant quotas, drain
 //! - [`http`] — minimal HTTP/1.1 request/response plumbing
 //! - [`server`] — routing and the cache/verify protocol
-//! - [`client`] — a tiny blocking client for tests and the load generator
+//! - [`client`] — a blocking client with bounded, deterministic retries
 
 // The service layer refuses panics-as-control-flow: `unwrap` on `Option`/
 // `Result` is warned crate-wide (lock poisoning uses `expect` with a
@@ -38,14 +41,19 @@
 
 pub mod cache;
 pub mod client;
+pub mod hostio;
 pub mod http;
 pub mod json;
 pub mod queue;
 pub mod scenario;
 pub mod server;
 pub mod spec;
+pub mod store;
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use client::RetryPolicy;
+pub use hostio::{FaultyIo, HostIo, IoFaultPlan, MemIo, RealIo, SharedMemIo};
 pub use queue::{JobStatus, JobView, Quota, ServiceState, SubmitError};
 pub use server::{ServeConfig, Server};
 pub use spec::{ScenarioSpec, SpecError, WorkloadSpec};
+pub use store::{DiskStore, FsyncPolicy, RecoveryReport, StoreConfig, StoreStats};

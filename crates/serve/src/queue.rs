@@ -62,6 +62,9 @@ pub enum SubmitError {
     },
     /// The global queue is at capacity (HTTP 503).
     QueueFull,
+    /// The service is draining: finishing in-flight work, admitting
+    /// nothing new (HTTP 503).
+    Draining,
     /// The service is shutting down (HTTP 503).
     ShuttingDown,
 }
@@ -71,7 +74,20 @@ impl SubmitError {
     pub fn http_status(&self) -> u16 {
         match self {
             SubmitError::TenantQueueFull { .. } | SubmitError::SimTimeQuota { .. } => 429,
-            SubmitError::QueueFull | SubmitError::ShuttingDown => 503,
+            SubmitError::QueueFull | SubmitError::Draining | SubmitError::ShuttingDown => 503,
+        }
+    }
+
+    /// `Retry-After` guidance in whole seconds, when retrying makes
+    /// sense. Queue pressure clears quickly; a draining process does
+    /// not come back, so the hint is "long enough for the replacement".
+    /// A sim-time quota violation is a spec problem — retrying the same
+    /// spec can never succeed, so no hint is sent.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            SubmitError::TenantQueueFull { .. } | SubmitError::QueueFull => Some(1),
+            SubmitError::Draining | SubmitError::ShuttingDown => Some(5),
+            SubmitError::SimTimeQuota { .. } => None,
         }
     }
 
@@ -92,6 +108,7 @@ impl SubmitError {
                 ("limit_us", Json::U64(*limit_us)),
             ]),
             SubmitError::QueueFull => obj([("kind", Json::Str("queue_full".into()))]),
+            SubmitError::Draining => obj([("kind", Json::Str("draining".into()))]),
             SubmitError::ShuttingDown => obj([("kind", Json::Str("shutting_down".into()))]),
         }
     }
@@ -170,8 +187,25 @@ struct Inner {
     tenants: HashMap<String, TenantCounters>,
     next_id: u64,
     shutdown: bool,
+    /// Draining: stop admitting, finish what is queued/running, then let
+    /// workers exit. Unlike `shutdown`, queued jobs still run to
+    /// completion.
+    draining: bool,
     done: u64,
     failed: u64,
+}
+
+impl Inner {
+    fn running_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .count()
+    }
+
+    fn drained(&self) -> bool {
+        self.draining && self.queue.is_empty() && self.running_count() == 0
+    }
 }
 
 /// Everything the HTTP layer and the workers share.
@@ -192,11 +226,18 @@ pub struct ServiceState {
 const FINISHED_RETAIN: usize = 1024;
 
 impl ServiceState {
-    /// A fresh service with the given quota and queue capacity.
+    /// A fresh service with the given quota and queue capacity, and a
+    /// default (memory-only, default-budget) cache.
     pub fn new(quota: Quota, queue_cap: usize) -> Self {
+        ServiceState::with_cache(quota, queue_cap, ResultCache::new())
+    }
+
+    /// A fresh service over an explicitly configured cache (byte budget
+    /// and/or durable tier).
+    pub fn with_cache(quota: Quota, queue_cap: usize, cache: ResultCache) -> Self {
         ServiceState {
             quota,
-            cache: ResultCache::new(),
+            cache,
             queue_cap,
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
@@ -204,6 +245,7 @@ impl ServiceState {
                 tenants: HashMap::new(),
                 next_id: 1,
                 shutdown: false,
+                draining: false,
                 done: 0,
                 failed: 0,
             }),
@@ -226,6 +268,9 @@ impl ServiceState {
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.shutdown {
             return Err(SubmitError::ShuttingDown);
+        }
+        if inner.draining {
+            return Err(SubmitError::Draining);
         }
         if inner.queue.len() >= self.queue_cap {
             return Err(SubmitError::QueueFull);
@@ -345,12 +390,52 @@ impl ServiceState {
         self.done_cv.notify_all();
     }
 
+    /// Starts a graceful drain: new submissions get 503 `draining`,
+    /// queued and running jobs finish normally, and workers exit once
+    /// nothing claimable remains.
+    pub fn begin_drain(&self) {
+        self.inner.lock().expect("queue lock").draining = true;
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().expect("queue lock").draining
+    }
+
+    /// Blocks until a started drain completes (queue empty, nothing
+    /// running) or the timeout passes. Returns whether it completed.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.drained() {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .done_cv
+                .wait_timeout(inner, deadline - now)
+                .expect("queue lock");
+            inner = guard;
+        }
+    }
+
     /// Claims the oldest queued job whose tenant has concurrency headroom.
     /// Returns `None` once shutdown is signalled.
     fn claim(&self) -> Option<(u64, ScenarioSpec, Arc<AtomicU64>)> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if inner.shutdown {
+                return None;
+            }
+            // A draining service runs everything already queued, then
+            // releases its workers.
+            if inner.draining && inner.queue.is_empty() {
                 return None;
             }
             let max_concurrent = self.quota.max_concurrent;
@@ -515,6 +600,34 @@ mod tests {
         assert!(state.cache.lookup(key).is_some());
         state.shutdown();
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn drain_finishes_queued_work_and_releases_workers() {
+        let state = Arc::new(ServiceState::new(Quota::default(), 64));
+        let id1 = state.submit("alice", tiny()).unwrap();
+        let id2 = state.submit("bob", tiny()).unwrap();
+        state.begin_drain();
+        // Draining refuses new work with the dedicated error kind.
+        let err = state.submit("carol", tiny()).unwrap_err();
+        assert_eq!(err, SubmitError::Draining);
+        assert_eq!(err.http_status(), 503);
+        assert_eq!(err.retry_after_secs(), Some(5));
+        assert_eq!(
+            err.to_json().get("kind").unwrap().as_str(),
+            Some("draining")
+        );
+        // Workers started after the drain still run the queued jobs.
+        let worker = {
+            let state = state.clone();
+            std::thread::spawn(move || state.worker_loop())
+        };
+        assert!(state.wait_drained(Duration::from_secs(120)));
+        worker.join().unwrap();
+        for id in [id1, id2] {
+            let view = state.job_view(id).expect("job retained");
+            assert_eq!(view.status, JobStatus::Done, "queued job ran to done");
+        }
     }
 
     #[test]

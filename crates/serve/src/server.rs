@@ -5,28 +5,39 @@
 //! | Route | What it does |
 //! |---|---|
 //! | `GET /healthz` | liveness probe |
-//! | `GET /v1/stats` | cache + queue counters |
+//! | `GET /v1/health` | readiness: 200 while serving, 503 once draining |
+//! | `GET /v1/stats` | cache + store + queue counters, degradation flags |
+//! | `GET /v1/recovery` | the startup recovery report (requires `--store`) |
 //! | `POST /v1/runs` | submit a scenario spec; `?wait=1` blocks for the result, `?verify=1` re-runs cache hits and demands byte-identity |
 //! | `GET /v1/runs/<id>` | job status, progress, spec echo, result/error |
 //! | `GET /v1/cache/<key>` | raw cached payload by content address |
+//! | `POST /v1/drain` | begin graceful drain: finish in-flight jobs, refuse new ones |
 //!
 //! Tenancy comes from the `X-Duet-Tenant` header (default `"anon"`).
 //! Cache-hit responses splice the stored payload bytes verbatim into the
 //! envelope, so two hits on the same key are byte-identical — the
 //! property the service tests pin down.
+//!
+//! Refusals carry structured bodies and, when a retry can help, a
+//! `Retry-After` header; accepted sockets get read/write timeouts so a
+//! slowloris peer costs one connection thread for a bounded time (408).
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::http::{read_request, reason, write_response, Request};
+use crate::cache::{CacheConfig, ResultCache};
+use crate::hostio::RealIo;
+use crate::http::{read_request, reason, write_response_with, Request};
 use crate::json::{obj, parse, Json};
 use crate::queue::{JobStatus, JobView, Quota, ServiceState};
 use crate::scenario;
 use crate::spec::ScenarioSpec;
+use crate::store::{DiskStore, FsyncPolicy, StoreConfig};
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -43,6 +54,15 @@ pub struct ServeConfig {
     pub quota: Quota,
     /// How long `?wait=1` blocks before giving up on a job.
     pub wait_timeout: Duration,
+    /// Read/write timeout on accepted sockets (slowloris bound). A peer
+    /// that stalls past it gets 408 and the connection is closed.
+    pub io_timeout: Duration,
+    /// Memory-tier cache byte budget.
+    pub cache_max_bytes: u64,
+    /// Durable tier directory; `None` runs memory-only.
+    pub store_dir: Option<PathBuf>,
+    /// Durability policy for the store tier.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +73,10 @@ impl Default for ServeConfig {
             queue_cap: 64,
             quota: Quota::default(),
             wait_timeout: Duration::from_secs(300),
+            io_timeout: Duration::from_secs(10),
+            cache_max_bytes: CacheConfig::default().max_bytes,
+            store_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -69,10 +93,26 @@ pub struct Server {
 
 impl Server {
     /// Binds, spawns the worker pool and the accept loop, and returns.
+    /// With `store_dir` set, the durable tier is opened (and recovered)
+    /// first; its recovery summary goes to stderr and `GET /v1/recovery`.
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServiceState::new(cfg.quota, cfg.queue_cap));
+        let store = match &cfg.store_dir {
+            Some(dir) => {
+                let mut store_cfg = StoreConfig::new(dir.clone());
+                store_cfg.fsync = cfg.fsync;
+                let store = DiskStore::open(store_cfg, Box::new(RealIo::new()))?;
+                eprintln!("{}", store.recovery_report().summary());
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
+        let cache = ResultCache::with_config(CacheConfig {
+            max_bytes: cfg.cache_max_bytes,
+            store,
+        });
+        let state = Arc::new(ServiceState::with_cache(cfg.quota, cfg.queue_cap, cache));
         let stop = Arc::new(AtomicBool::new(false));
         let worker_threads = (0..cfg.workers)
             .map(|i| {
@@ -87,6 +127,7 @@ impl Server {
             let state = state.clone();
             let stop = stop.clone();
             let wait_timeout = cfg.wait_timeout;
+            let io_timeout = cfg.io_timeout;
             std::thread::Builder::new()
                 .name("duet-serve-accept".to_string())
                 .spawn(move || {
@@ -97,7 +138,7 @@ impl Server {
                         let Ok(stream) = conn else { continue };
                         let state = state.clone();
                         std::thread::spawn(move || {
-                            let _ = handle_connection(&state, stream, wait_timeout);
+                            let _ = handle_connection(&state, stream, wait_timeout, io_timeout);
                         });
                     }
                 })
@@ -135,27 +176,79 @@ impl Server {
             let _ = t.join();
         }
     }
+
+    /// Blocks until a `POST /v1/drain` (or a direct `begin_drain`)
+    /// completes — every queued and running job finished — then flushes
+    /// the store and shuts down. The graceful-exit path of the binary.
+    pub fn serve_until_drained(self) {
+        // Long poll: wake on every finished job, leave when drained.
+        loop {
+            if self.state.wait_drained(Duration::from_secs(3600)) {
+                break;
+            }
+        }
+        if let Some(store) = self.state.cache.store() {
+            store.flush();
+        }
+        self.shutdown();
+    }
+}
+
+/// A routed reply: status, JSON body, extra response headers.
+type Reply = (u16, Vec<u8>, Vec<(String, String)>);
+
+fn reply(status: u16, body: Vec<u8>) -> Reply {
+    (status, body, Vec::new())
 }
 
 fn handle_connection(
     state: &Arc<ServiceState>,
     mut stream: TcpStream,
     wait_timeout: Duration,
+    io_timeout: Duration,
 ) -> io::Result<()> {
+    // Slowloris bound: a peer that trickles its request head (or stalls
+    // reading our response) gets cut off at the timeout, not never.
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
     let req = match read_request(&mut stream) {
         Ok(Some(req)) => req,
         Ok(None) => return Ok(()),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            let body = error_body("timeout", "request not completed within the io timeout");
+            return write_response_with(
+                &mut stream,
+                408,
+                reason(408),
+                "application/json",
+                &[],
+                &body,
+            );
+        }
         Err(e) => {
             let body = error_body("bad_request", &e.to_string());
-            return write_response(&mut stream, 400, reason(400), "application/json", &body);
+            return write_response_with(
+                &mut stream,
+                400,
+                reason(400),
+                "application/json",
+                &[],
+                &body,
+            );
         }
     };
-    let (status, body) = route(state, &req, wait_timeout);
-    write_response(
+    let (status, body, headers) = route(state, &req, wait_timeout);
+    write_response_with(
         &mut stream,
         status,
         reason(status),
         "application/json",
+        &headers,
         &body,
     )
 }
@@ -189,28 +282,96 @@ fn envelope(fields: &[(&str, String)], result_key: &str, payload: &[u8]) -> Vec<
     out
 }
 
-fn route(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) -> (u16, Vec<u8>) {
+fn route(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, obj([("ok", Json::Bool(true))]).to_bytes()),
-        ("GET", "/v1/stats") => (200, stats_body(state)),
+        ("GET", "/healthz") => reply(200, obj([("ok", Json::Bool(true))]).to_bytes()),
+        ("GET", "/v1/health") => health(state),
+        ("GET", "/v1/stats") => reply(200, stats_body(state)),
+        ("GET", "/v1/recovery") => recovery(state),
         ("POST", "/v1/runs") => post_run(state, req, wait_timeout),
+        ("POST", "/v1/drain") => {
+            state.begin_drain();
+            reply(
+                202,
+                obj([("status", Json::Str("draining".into()))]).to_bytes(),
+            )
+        }
         ("GET", path) if path.starts_with("/v1/runs/") => {
             get_run(state, &path["/v1/runs/".len()..])
         }
         ("GET", path) if path.starts_with("/v1/cache/") => {
             get_cache(state, &path["/v1/cache/".len()..])
         }
-        ("GET" | "POST", _) => (
+        ("GET" | "POST", _) => reply(
             404,
             error_body("not_found", &format!("no route {}", req.path)),
         ),
-        _ => (405, error_body("method_not_allowed", &req.method)),
+        _ => reply(405, error_body("method_not_allowed", &req.method)),
+    }
+}
+
+/// Readiness: 200 while accepting work, 503 (with `Retry-After`) once a
+/// drain has begun — so a fronting balancer pulls the instance before
+/// its jobs finish. Storage degradation is reported but does **not**
+/// fail readiness: a memory-only service still serves correctly.
+fn health(state: &Arc<ServiceState>) -> Reply {
+    let draining = state.is_draining();
+    let degraded = state
+        .cache
+        .store()
+        .map(|s| s.is_degraded())
+        .unwrap_or(false);
+    let body = obj([
+        ("ready", Json::Bool(!draining)),
+        ("draining", Json::Bool(draining)),
+        ("degraded_storage", Json::Bool(degraded)),
+    ])
+    .to_bytes();
+    if draining {
+        (
+            503,
+            body,
+            vec![("retry-after".to_string(), "5".to_string())],
+        )
+    } else {
+        reply(200, body)
+    }
+}
+
+/// The startup recovery report, verbatim. 404 without a store tier.
+fn recovery(state: &Arc<ServiceState>) -> Reply {
+    match state.cache.store() {
+        Some(store) => reply(200, store.recovery_report().to_json().to_bytes()),
+        None => reply(404, error_body("no_store", "service is memory-only")),
     }
 }
 
 fn stats_body(state: &Arc<ServiceState>) -> Vec<u8> {
     let c = state.cache.stats();
     let (queued, running, done, failed) = state.job_counts();
+    let store_section = match state.cache.store() {
+        Some(store) => {
+            let s = store.stats();
+            obj([
+                ("enabled", Json::Bool(true)),
+                ("degraded", Json::Bool(s.degraded)),
+                ("indexed_entries", Json::U64(s.indexed_entries)),
+                ("appended_records", Json::U64(s.appended_records)),
+                ("appended_bytes", Json::U64(s.appended_bytes)),
+                ("append_errors", Json::U64(s.append_errors)),
+                ("disk_reads", Json::U64(s.disk_reads)),
+                ("disk_read_corrupt", Json::U64(s.disk_read_corrupt)),
+                ("recovered_records", Json::U64(s.recovered_records)),
+                ("quarantined_records", Json::U64(s.quarantined_records)),
+            ])
+        }
+        None => obj([("enabled", Json::Bool(false))]),
+    };
+    let degraded = state
+        .cache
+        .store()
+        .map(|s| s.is_degraded())
+        .unwrap_or(false);
     obj([
         (
             "cache",
@@ -219,9 +380,13 @@ fn stats_body(state: &Arc<ServiceState>) -> Vec<u8> {
                 ("misses", Json::U64(c.misses)),
                 ("inserts", Json::U64(c.inserts)),
                 ("entries", Json::U64(c.entries)),
+                ("mem_bytes", Json::U64(c.mem_bytes)),
+                ("evictions", Json::U64(c.evictions)),
+                ("disk_hits", Json::U64(c.disk_hits)),
                 ("verify_mismatches", Json::U64(c.verify_mismatches)),
             ]),
         ),
+        ("store", store_section),
         (
             "jobs",
             obj([
@@ -231,18 +396,20 @@ fn stats_body(state: &Arc<ServiceState>) -> Vec<u8> {
                 ("failed", Json::U64(failed)),
             ]),
         ),
+        ("draining", Json::Bool(state.is_draining())),
+        ("degraded_storage", Json::Bool(degraded)),
     ])
     .to_bytes()
 }
 
-fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) -> (u16, Vec<u8>) {
+fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) -> Reply {
     let body = match parse(&req.body) {
         Ok(v) => v,
-        Err(e) => return (400, error_body("bad_json", &e.to_string())),
+        Err(e) => return reply(400, error_body("bad_json", &e.to_string())),
     };
     let spec = match ScenarioSpec::from_json(&body) {
         Ok(s) => s,
-        Err(e) => return (400, error_body("bad_spec", &e.0)),
+        Err(e) => return reply(400, error_body("bad_spec", &e.0)),
     };
     let tenant = req.header("x-duet-tenant").unwrap_or("anon").to_string();
     let key = spec.cache_key();
@@ -261,14 +428,18 @@ fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) ->
             "result",
             &cached,
         );
-        return (200, body);
+        return reply(200, body);
     }
 
     let id = match state.submit(&tenant, spec) {
         Ok(id) => id,
         Err(e) => {
             let body = obj([("error", e.to_json())]).to_bytes();
-            return (e.http_status(), body);
+            let headers = match e.retry_after_secs() {
+                Some(secs) => vec![("retry-after".to_string(), secs.to_string())],
+                None => Vec::new(),
+            };
+            return (e.http_status(), body, headers);
         }
     };
     if !req.query_flag("wait") {
@@ -279,7 +450,7 @@ fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) ->
             ("key", Json::Str(format!("{key:016x}"))),
         ])
         .to_bytes();
-        return (202, body);
+        return reply(202, body);
     }
     match state.wait_done(id, wait_timeout) {
         Some(view) => match view.status {
@@ -295,7 +466,7 @@ fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) ->
                     "result",
                     &payload,
                 );
-                (200, body)
+                reply(200, body)
             }
             JobStatus::Failed => {
                 let error = view.error.unwrap_or_else(|| "{}".to_string());
@@ -309,9 +480,9 @@ fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) ->
                     "error",
                     error.as_bytes(),
                 );
-                (200, body)
+                reply(200, body)
             }
-            _ => (
+            _ => reply(
                 200,
                 obj([
                     ("status", Json::Str("timeout".into())),
@@ -320,7 +491,7 @@ fn post_run(state: &Arc<ServiceState>, req: &Request, wait_timeout: Duration) ->
                 .to_bytes(),
             ),
         },
-        None => (500, error_body("lost_job", "job record disappeared")),
+        None => reply(500, error_body("lost_job", "job record disappeared")),
     }
 }
 
@@ -335,7 +506,7 @@ fn verify_hit(
     key: u64,
     key_hex: &str,
     cached: &[u8],
-) -> (u16, Vec<u8>) {
+) -> Reply {
     let progress = AtomicU64::new(0);
     let fresh = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         scenario::execute(spec, |ps| progress.store(ps, Ordering::Relaxed))
@@ -343,7 +514,7 @@ fn verify_hit(
     let fresh_payload = match fresh {
         Ok(Ok(out)) => scenario::result_payload(spec, &out),
         Ok(Err(run_err)) => {
-            return (
+            return reply(
                 409,
                 obj([
                     ("status", Json::Str("verify_failed".into())),
@@ -353,7 +524,7 @@ fn verify_hit(
                 .to_bytes(),
             )
         }
-        Err(_) => return (500, error_body("panic", "verification run panicked")),
+        Err(_) => return reply(500, error_body("panic", "verification run panicked")),
     };
     if fresh_payload == cached {
         let body = envelope(
@@ -366,7 +537,7 @@ fn verify_hit(
             "result",
             cached,
         );
-        return (200, body);
+        return reply(200, body);
     }
     state.cache.note_verify_mismatch();
     state.cache.evict(key);
@@ -383,17 +554,17 @@ fn verify_hit(
         ),
     ])
     .to_bytes();
-    (409, body)
+    reply(409, body)
 }
 
-fn get_run(state: &Arc<ServiceState>, id_str: &str) -> (u16, Vec<u8>) {
+fn get_run(state: &Arc<ServiceState>, id_str: &str) -> Reply {
     let Ok(id) = id_str.parse::<u64>() else {
-        return (400, error_body("bad_id", id_str));
+        return reply(400, error_body("bad_id", id_str));
     };
     let Some(view) = state.job_view(id) else {
-        return (404, error_body("unknown_job", id_str));
+        return reply(404, error_body("unknown_job", id_str));
     };
-    (200, job_body(&view))
+    reply(200, job_body(&view))
 }
 
 fn job_body(view: &JobView) -> Vec<u8> {
@@ -443,12 +614,12 @@ fn job_body(view: &JobView) -> Vec<u8> {
     }
 }
 
-fn get_cache(state: &Arc<ServiceState>, key_str: &str) -> (u16, Vec<u8>) {
+fn get_cache(state: &Arc<ServiceState>, key_str: &str) -> Reply {
     let Ok(key) = u64::from_str_radix(key_str, 16) else {
-        return (400, error_body("bad_key", key_str));
+        return reply(400, error_body("bad_key", key_str));
     };
     match state.cache.lookup(key) {
-        Some(payload) => (200, payload.to_vec()),
-        None => (404, error_body("unknown_key", key_str)),
+        Some(payload) => reply(200, payload.to_vec()),
+        None => reply(404, error_body("unknown_key", key_str)),
     }
 }

@@ -128,10 +128,18 @@ impl SnapWriter {
     /// A writer primed with the standard header: magic, format version,
     /// and the configuration hash.
     pub fn with_header(config_hash: u64) -> Self {
+        SnapWriter::with_custom_header(MAGIC, FORMAT_VERSION, config_hash)
+    }
+
+    /// A writer primed with a caller-chosen header in the standard
+    /// framing (8-byte magic, `u32` version, `u64` hash). Lets other
+    /// on-disk artifacts — the serve layer's result-store segments, for
+    /// one — reuse the snapshot header discipline under their own magic.
+    pub fn with_custom_header(magic: [u8; 8], version: u32, hash: u64) -> Self {
         let mut w = SnapWriter::new();
-        w.buf.extend_from_slice(&MAGIC);
-        w.u32(FORMAT_VERSION);
-        w.u64(config_hash);
+        w.buf.extend_from_slice(&magic);
+        w.u32(version);
+        w.u64(hash);
         w
     }
 
@@ -211,23 +219,35 @@ impl<'a> SnapReader<'a> {
     /// A reader that first validates the standard header (magic, format
     /// version, config hash) against `expected_config_hash`.
     pub fn with_header(buf: &'a [u8], expected_config_hash: u64) -> Result<Self, SnapError> {
+        SnapReader::with_custom_header(buf, MAGIC, FORMAT_VERSION, expected_config_hash)
+    }
+
+    /// A reader that validates a caller-chosen header in the standard
+    /// framing (the [`SnapWriter::with_custom_header`] counterpart).
+    /// Mismatches are the same typed errors snapshot loading produces.
+    pub fn with_custom_header(
+        buf: &'a [u8],
+        magic: [u8; 8],
+        expected_version: u32,
+        expected_hash: u64,
+    ) -> Result<Self, SnapError> {
         let mut r = SnapReader::new(buf);
-        let magic = r.take(MAGIC.len())?;
-        if magic != MAGIC {
+        let found_magic = r.take(magic.len())?;
+        if found_magic != magic {
             return Err(SnapError::BadMagic);
         }
         let version = r.u32()?;
-        if version != FORMAT_VERSION {
+        if version != expected_version {
             return Err(SnapError::Version {
                 found: version,
-                expected: FORMAT_VERSION,
+                expected: expected_version,
             });
         }
         let hash = r.u64()?;
-        if hash != expected_config_hash {
+        if hash != expected_hash {
             return Err(SnapError::ConfigHash {
                 found: hash,
-                expected: expected_config_hash,
+                expected: expected_hash,
             });
         }
         Ok(r)

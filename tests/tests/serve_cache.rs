@@ -20,6 +20,7 @@ fn start(quota: Quota, workers: usize) -> Server {
         queue_cap: 64,
         quota,
         wait_timeout: Duration::from_secs(240),
+        ..ServeConfig::default()
     })
     .expect("server starts")
 }
