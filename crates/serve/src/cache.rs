@@ -194,6 +194,19 @@ impl ResultCache {
                     mem.enforce_budget(self.max_bytes)
                 };
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                // A concurrent evict-for-cause may have tombstoned the
+                // key between our disk read and the insert above. Evict
+                // writes its tombstone *before* touching the memory
+                // tier, so if the key is still indexed here, any
+                // in-flight evict has yet to do either and will remove
+                // our promoted copy itself; if it is gone, we drop the
+                // copy now. Either way the poisoned entry cannot keep
+                // serving memory hits.
+                if !store.contains(key) {
+                    self.mem.lock().expect("cache lock").remove(key);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(payload);
@@ -235,12 +248,16 @@ impl ResultCache {
 
     /// Drops an entry *for cause* (verification caught a mismatch). The
     /// disk tier gets a tombstone so the entry stays dead after restart.
+    ///
+    /// The tombstone lands **before** the memory copy is dropped: a
+    /// concurrent [`lookup`](Self::lookup) promoting the key from disk
+    /// re-checks the store index after its insert, and this ordering is
+    /// what makes that re-check conclusive (see the comment there).
     pub fn evict(&self, key: u64) -> bool {
-        let removed = self.mem.lock().expect("cache lock").remove(key);
         if let Some(store) = &self.store {
             store.append_tombstone(key);
         }
-        removed
+        self.mem.lock().expect("cache lock").remove(key)
     }
 
     /// Records a verification mismatch.
@@ -399,6 +416,37 @@ mod tests {
         }
         let c = disk_backed(&fs, 1 << 20);
         assert!(c.lookup(5).is_none(), "tombstone survives restart");
+    }
+
+    #[test]
+    fn evict_for_cause_beats_concurrent_disk_promotion() {
+        // A lookup that misses memory reads the payload off disk and
+        // promotes it back into the memory tier. If that promotion races
+        // an evict-for-cause, the poisoned payload must not survive in
+        // memory once evict() has returned and in-flight lookups have
+        // drained — whichever side loses the interleaving cleans up.
+        let fs = SharedMemIo::new();
+        let c = Arc::new(disk_backed(&fs, 1 << 20));
+        for round in 0..200u64 {
+            let key = round;
+            c.insert(key, b"poisoned-payload".to_vec());
+            // Drop the memory copy so lookups take the promotion path.
+            c.mem.lock().unwrap().remove(key);
+            let looper = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..32 {
+                        c.lookup(key);
+                    }
+                })
+            };
+            c.evict(key);
+            looper.join().unwrap();
+            assert!(
+                c.lookup(key).is_none(),
+                "round {round}: poisoned entry resurrected after evict"
+            );
+        }
     }
 
     #[test]

@@ -47,11 +47,14 @@ pub trait HostIo: Send {
     fn file_len(&mut self, path: &Path) -> io::Result<u64>;
 }
 
-/// Production I/O over `std::fs`. Append handles are cached per path so
-/// a hot append path does not reopen the segment file per record.
+/// Production I/O over `std::fs`. The most recent append handle is
+/// cached so a hot append path does not reopen the segment file per
+/// record. Only one handle is kept — the store appends to a single
+/// active segment at a time, and caching per path would accumulate one
+/// open fd per retired segment as rotation walks forward.
 #[derive(Default)]
 pub struct RealIo {
-    appenders: HashMap<PathBuf, File>,
+    appender: Option<(PathBuf, File)>,
 }
 
 impl RealIo {
@@ -61,11 +64,11 @@ impl RealIo {
     }
 
     fn appender(&mut self, path: &Path) -> io::Result<&mut File> {
-        if !self.appenders.contains_key(path) {
+        if self.appender.as_ref().map(|(p, _)| p.as_path()) != Some(path) {
             let f = OpenOptions::new().create(true).append(true).open(path)?;
-            self.appenders.insert(path.to_path_buf(), f);
+            self.appender = Some((path.to_path_buf(), f));
         }
-        Ok(self.appenders.get_mut(path).expect("inserted above"))
+        Ok(&mut self.appender.as_mut().expect("set above").1)
     }
 }
 
@@ -112,7 +115,9 @@ impl HostIo for RealIo {
         // Drop any cached append handle first: append-mode writes ignore
         // the cursor, but a stale handle on some platforms keeps the old
         // length cached.
-        self.appenders.remove(path);
+        if self.appender.as_ref().is_some_and(|(p, _)| p == path) {
+            self.appender = None;
+        }
         let f = OpenOptions::new().write(true).open(path)?;
         f.set_len(len)?;
         f.sync_all()
@@ -304,6 +309,10 @@ pub struct IoFaultPlan {
     /// never). Whole-file recovery reads are left intact so the fault
     /// targets the serving path, not startup.
     pub flip_read_bit_every: u64,
+    /// The Nth whole-file read (1-based) fails with an injected I/O
+    /// error (`None` = never). Recovery reads segments in sorted order,
+    /// so this targets one specific segment during startup replay.
+    pub fail_read_file_on: Option<u64>,
 }
 
 /// A deterministic fault layer over any [`HostIo`].
@@ -313,6 +322,7 @@ pub struct FaultyIo<I: HostIo> {
     appends: u64,
     syncs: u64,
     reads: u64,
+    file_reads: u64,
     bytes_written: u64,
 }
 
@@ -325,6 +335,7 @@ impl<I: HostIo> FaultyIo<I> {
             appends: 0,
             syncs: 0,
             reads: 0,
+            file_reads: 0,
             bytes_written: 0,
         }
     }
@@ -356,6 +367,10 @@ impl<I: HostIo> HostIo for FaultyIo<I> {
     }
 
     fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        self.file_reads += 1;
+        if self.plan.fail_read_file_on == Some(self.file_reads) {
+            return Err(io::Error::other("injected whole-file read failure"));
+        }
         self.inner.read_file(path)
     }
 
@@ -486,6 +501,47 @@ mod tests {
         io.append(&p, b"x").unwrap();
         assert!(io.sync(&p).is_ok());
         assert!(io.sync(&p).is_err());
+    }
+
+    #[test]
+    fn faulty_io_fails_only_the_scheduled_whole_file_read() {
+        let plan = IoFaultPlan {
+            fail_read_file_on: Some(2),
+            ..IoFaultPlan::default()
+        };
+        let mut io = FaultyIo::new(MemIo::new(), plan);
+        let p = PathBuf::from("/s/a");
+        io.append(&p, b"bytes").unwrap();
+        assert!(io.read_file(&p).is_ok());
+        assert!(io.read_file(&p).is_err(), "second read is the faulted one");
+        assert!(io.read_file(&p).is_ok(), "fault is transient");
+    }
+
+    #[test]
+    fn real_io_keeps_one_append_handle_across_segment_switches() {
+        let dir = std::env::temp_dir().join(format!("duet-hostio-appender-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut io = RealIo::new();
+        io.create_dir_all(&dir).unwrap();
+        let a = dir.join("seg-000001.dlog");
+        let b = dir.join("seg-000002.dlog");
+        // Alternate paths the way rotation + flush would; the single
+        // cached handle must follow the active path without corrupting
+        // either file.
+        io.append(&a, b"aaa").unwrap();
+        io.append(&b, b"bbb").unwrap();
+        io.append(&a, b"AAA").unwrap();
+        io.sync(&a).unwrap();
+        assert!(
+            io.appender.as_ref().is_some_and(|(p, _)| p == &a),
+            "only the most recent path's handle is cached"
+        );
+        assert_eq!(io.read_file(&a).unwrap(), b"aaaAAA");
+        assert_eq!(io.read_file(&b).unwrap(), b"bbb");
+        io.truncate(&a, 3).unwrap();
+        assert!(io.appender.is_none(), "truncate drops the cached handle");
+        assert_eq!(io.read_file(&a).unwrap(), b"aaa");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

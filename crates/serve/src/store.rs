@@ -37,8 +37,12 @@
 //!   the segment);
 //! * an implausible length or kind byte means framing itself is gone —
 //!   the rest of the segment is unrecoverable and is truncated off;
-//! * a segment with a bad header (magic/version/layout hash) is
-//!   **skipped whole** and never appended to.
+//! * a segment with a bad header (magic/version/layout hash) — or one
+//!   whose bytes cannot be read at all — is **skipped whole** and
+//!   **sealed**: the active segment advances past it (starting empty),
+//!   so appends never land behind records that were not replayed and a
+//!   later restart that *can* parse the segment cannot resurrect its
+//!   stale values over newer writes.
 //!
 //! Every decision lands in a structured [`RecoveryReport`] (served at
 //! `GET /v1/recovery`, summarized in `/v1/stats`), never a panic.
@@ -500,6 +504,14 @@ impl DiskStore {
                         header_error: Some(format!("read failed: {e}")),
                     });
                     report.skipped_segments += 1;
+                    // Seal the unreadable segment: if appends landed in a
+                    // lower-numbered segment and a later restart *could*
+                    // read this one, its stale records would replay after
+                    // them (replay is in segment-id order, last record
+                    // wins) and resurrect overwritten or tombstoned
+                    // values.
+                    active_id = active_id.max(id + 1);
+                    active_len = 0;
                     continue;
                 }
             };
@@ -515,8 +527,12 @@ impl DiskStore {
                 });
                 report.skipped_segments += 1;
                 // Never append into a segment we cannot parse; make sure
-                // the next active id clears it.
+                // the next active id clears it. The new active segment
+                // was never scanned, so it starts empty — a stale
+                // active_len here would make the first append skip the
+                // header write and index records at shifted offsets.
                 active_id = active_id.max(id + 1);
+                active_len = 0;
                 continue;
             }
             let truncated = bytes.len() as u64 - scan.valid_len;
@@ -526,6 +542,7 @@ impl DiskStore {
                 // the segment by rolling past it.
                 if io.truncate(&path, scan.valid_len).is_err() {
                     active_id = active_id.max(id + 1);
+                    active_len = 0;
                 }
             }
             for (kind, key, offset, payload_len) in &scan.records {
@@ -613,6 +630,18 @@ impl DiskStore {
         }
     }
 
+    /// Whether `key` is currently resolvable from disk. The cache's
+    /// promotion path re-checks this after re-inserting a disk-read
+    /// payload into memory, closing the race with a concurrent
+    /// evict-for-cause tombstone.
+    pub fn contains(&self, key: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .index
+            .contains_key(&key)
+    }
+
     /// Keys currently resolvable from disk, sorted (deterministic — used
     /// by the restart-verification tests).
     pub fn keys(&self) -> Vec<u64> {
@@ -641,6 +670,14 @@ impl DiskStore {
 
     fn append_record(&self, kind: u8, key: u64, payload: &[u8]) {
         if self.is_degraded() {
+            // Appends are lost while degraded, but a tombstone must
+            // still drop the key from the index, or the poisoned record
+            // would keep being served from disk for the rest of this
+            // process (the durable tombstone is forfeited along with
+            // everything else durability promised).
+            if kind == KIND_TOMBSTONE {
+                self.inner.lock().expect("store lock").index.remove(&key);
+            }
             return;
         }
         let record = encode_record(kind, key, payload);
@@ -667,7 +704,15 @@ impl DiskStore {
                     }
                 }
             }
-            Err(_) => self.mark_degraded(),
+            Err(_) => {
+                // Same index rule as the degraded fast path above: a
+                // tombstone whose record failed to persist still kills
+                // the in-memory entry.
+                if kind == KIND_TOMBSTONE {
+                    inner.index.remove(&key);
+                }
+                self.mark_degraded();
+            }
         }
     }
 
@@ -912,6 +957,104 @@ mod tests {
         drop(s);
         let s = DiskStore::open(StoreConfig::new("/s"), Box::new(fs)).unwrap();
         assert_eq!(s.get(2).unwrap(), b"two");
+    }
+
+    #[test]
+    fn sealing_the_newest_segment_resets_active_len() {
+        // Two damaged segments at once: the second-newest loses its tail
+        // (recovery truncates it below the rotation threshold) and the
+        // newest loses its header (recovery seals it). The new active
+        // segment must start empty — a stale active_len would make the
+        // first post-recovery append skip the header write and index the
+        // record at a shifted offset, silently losing every new write at
+        // the next restart.
+        let fs = SharedMemIo::new();
+        let mut cfg = StoreConfig::new("/s");
+        cfg.segment_max_bytes = 128;
+        {
+            let s = DiskStore::open(cfg.clone(), Box::new(fs.clone())).unwrap();
+            for k in 0..8 {
+                s.append(k, &[k as u8; 40]); // two records per segment
+            }
+        }
+        fs.with(|m| {
+            let f = m.file_mut(&Path::new("/s").join(segment_name(3))).unwrap();
+            let n = f.len();
+            f.truncate(n - 4);
+            m.file_mut(&Path::new("/s").join(segment_name(4))).unwrap()[0] ^= 0xFF;
+        });
+        let s = DiskStore::open(cfg.clone(), Box::new(fs.clone())).unwrap();
+        assert_eq!(s.recovery_report().skipped_segments, 1);
+        s.append(100, b"post-recovery");
+        assert_eq!(s.get(100).unwrap(), b"post-recovery");
+        drop(s);
+        let s = DiskStore::open(cfg, Box::new(fs)).unwrap();
+        assert_eq!(
+            s.get(100).unwrap(),
+            b"post-recovery",
+            "post-recovery writes must survive the next restart"
+        );
+        assert_eq!(s.get(0).unwrap(), vec![0u8; 40], "undamaged segment kept");
+        assert_eq!(
+            s.get(4).unwrap(),
+            vec![4u8; 40],
+            "record before the tear kept"
+        );
+        assert!(s.get(6).is_none(), "sealed segment's records are gone");
+    }
+
+    #[test]
+    fn read_failed_segment_is_sealed_so_stale_records_cannot_resurrect() {
+        let fs = SharedMemIo::new();
+        let mut cfg = StoreConfig::new("/s");
+        cfg.segment_max_bytes = 128;
+        {
+            let s = DiskStore::open(cfg.clone(), Box::new(fs.clone())).unwrap();
+            s.append(7, &[1u8; 40]);
+            s.append(8, &[2u8; 40]); // fills segment 1
+            s.append(7, &[3u8; 40]); // rotates; key 7's newer value is in segment 2
+        }
+        // Segment 2's read fails transiently at this open: it must be
+        // sealed, not left as the append target — otherwise the write
+        // below would land behind its un-replayed records and the stale
+        // value would win the replay at the next restart.
+        let plan = IoFaultPlan {
+            fail_read_file_on: Some(2),
+            ..IoFaultPlan::default()
+        };
+        let s = DiskStore::open(cfg.clone(), Box::new(FaultyIo::new(fs.clone(), plan))).unwrap();
+        assert_eq!(s.recovery_report().skipped_segments, 1);
+        s.append(7, b"newest");
+        drop(s);
+        let s = DiskStore::open(cfg, Box::new(fs)).unwrap();
+        assert_eq!(
+            s.get(7).unwrap(),
+            b"newest",
+            "replay order is segment-id order; the post-recovery write must win"
+        );
+        assert_eq!(s.get(8).unwrap(), vec![2u8; 40]);
+    }
+
+    #[test]
+    fn tombstone_while_degraded_still_kills_the_index_entry() {
+        let plan = IoFaultPlan {
+            disk_capacity: Some(256),
+            ..IoFaultPlan::default()
+        };
+        let s = DiskStore::open(
+            StoreConfig::new("/s"),
+            Box::new(FaultyIo::new(MemIo::new(), plan)),
+        )
+        .unwrap();
+        s.append(1, &[0xAB; 64]);
+        assert_eq!(s.get(1).unwrap(), vec![0xAB; 64]);
+        s.append(2, &[0xCD; 200]); // blows the budget
+        assert!(s.is_degraded());
+        s.append_tombstone(1);
+        assert!(
+            s.get(1).is_none(),
+            "a degraded store must not keep serving a tombstoned entry"
+        );
     }
 
     #[test]
